@@ -1,0 +1,47 @@
+"""Benchmark fixtures: the flow pipeline runs once per session; each bench
+regenerates one paper figure/table from the shared results and saves its
+series as CSV under benchmarks/artifacts/."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import MacromodelingFlow, make_paper_testcase
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir():
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+@pytest.fixture(scope="session")
+def testcase():
+    return make_paper_testcase()
+
+
+@pytest.fixture(scope="session")
+def flow():
+    return MacromodelingFlow()
+
+
+@pytest.fixture(scope="session")
+def flow_result(flow, testcase):
+    return flow.run(testcase.data, testcase.termination, testcase.observe_port)
+
+
+def save_series(path: Path, header: list[str], columns: list[np.ndarray]) -> None:
+    """Write aligned columns as CSV (the figure's data series)."""
+    table = np.column_stack([np.asarray(c) for c in columns])
+    np.savetxt(path, table, delimiter=",", header=",".join(header), comments="")
+
+
+def emit(path: Path, text: str) -> None:
+    """Print a result table and persist it next to the CSV artifacts."""
+    print(text)
+    path.write_text(text + "\n", encoding="utf-8")

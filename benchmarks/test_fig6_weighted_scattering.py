@@ -1,0 +1,50 @@
+"""Paper Fig. 6: scattering responses of the weighted passive macromodel
+vs the raw data.
+
+Shape claim: the sensitivity-weighted passive model remains accurate in
+the native scattering representation -- "no difference ... can be noted in
+the scattering representation by comparing Fig. 1 and Fig. 6".  The timed
+kernel is a model frequency-response evaluation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, save_series
+
+
+def test_fig6_weighted_scattering(benchmark, testcase, flow_result, artifacts_dir):
+    data = testcase.data
+    model = flow_result.weighted_enforced.model
+    response = model.frequency_response(data.omega)
+
+    header = ["frequency_hz"]
+    columns = [data.frequencies]
+    for (i, j) in [(0, 0), (0, 1)]:
+        for source, tag in [(data.samples, "data"), (response, "model")]:
+            trace = source[:, i, j]
+            header += [f"S{i+1}{j+1}_{tag}_db", f"S{i+1}{j+1}_{tag}_deg"]
+            columns += [
+                20 * np.log10(np.maximum(np.abs(trace), 1e-300)),
+                np.rad2deg(np.angle(trace)),
+            ]
+    save_series(artifacts_dir / "fig6_weighted_scattering.csv", header, columns)
+
+    rms_weighted_passive = float(
+        np.sqrt(np.mean(np.abs(response - data.samples) ** 2))
+    )
+    rms_standard = flow_result.standard_fit.rms_error
+    lines = [
+        "Fig. 6 -- scattering accuracy of the weighted passive model",
+        f"  RMS error, standard fit (Fig. 1)      : {rms_standard:.3e}",
+        f"  RMS error, weighted passive (Fig. 6)  : {rms_weighted_passive:.3e}",
+        "  paper shape claim: both are accurate in the scattering view;",
+        "  the weighting difference only appears under nominal loading",
+        f"  claim holds      : {rms_weighted_passive < 0.05}",
+    ]
+    emit(artifacts_dir / "fig6_summary.txt", "\n".join(lines))
+
+    assert rms_weighted_passive < 0.05
+
+    benchmark.pedantic(
+        lambda: model.frequency_response(data.omega), rounds=3, iterations=1
+    )

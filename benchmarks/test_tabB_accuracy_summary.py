@@ -1,0 +1,70 @@
+"""Derived Table B: accuracy summary for every model variant of Fig. 5.
+
+One row per model: scattering errors, loaded-impedance errors, passivity
+verdict.  This is the compact quantitative form of the paper's Figs. 1-6
+narrative.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.flow.metrics import (
+    ModelAccuracyRow,
+    impedance_error_report,
+    max_relative_impedance_error,
+    max_scattering_error,
+    rms_scattering_error,
+)
+from repro.passivity.check import check_passivity
+
+LOW_BAND = (0.0, 2 * np.pi * 1e6)
+
+
+def test_tabB_accuracy_summary(benchmark, testcase, flow_result, artifacts_dir):
+    data = testcase.data
+    omega = data.omega
+    zref = flow_result.reference_impedance
+
+    variants = [
+        ("standard VF", flow_result.standard_fit.model),
+        ("weighted VF (non-passive)", flow_result.weighted_fit.model),
+        ("passive, standard cost", flow_result.standard_enforced.model),
+        ("passive, weighted cost", flow_result.weighted_enforced.model),
+    ]
+
+    def build_rows():
+        rows = []
+        for label, model in variants:
+            rows.append(
+                ModelAccuracyRow(
+                    label=label,
+                    rms_scattering=rms_scattering_error(model, omega, data.samples),
+                    max_scattering=max_scattering_error(model, omega, data.samples),
+                    max_rel_impedance=max_relative_impedance_error(
+                        model, omega, zref, testcase.termination,
+                        testcase.observe_port,
+                    ),
+                    low_band_rel_impedance=max_relative_impedance_error(
+                        model, omega, zref, testcase.termination,
+                        testcase.observe_port, band=LOW_BAND,
+                    ),
+                    is_passive=check_passivity(model).is_passive,
+                )
+            )
+        return rows
+
+    rows = build_rows()
+    text = "Table B -- accuracy summary per model variant\n"
+    text += impedance_error_report(rows)
+    emit(artifacts_dir / "tabB_accuracy_summary.txt", text)
+
+    by_label = {row.label: row for row in rows}
+    assert not by_label["weighted VF (non-passive)"].is_passive
+    assert by_label["passive, weighted cost"].is_passive
+    assert by_label["passive, standard cost"].is_passive
+    assert (
+        by_label["passive, standard cost"].low_band_rel_impedance
+        > 5 * by_label["passive, weighted cost"].low_band_rel_impedance
+    )
+
+    benchmark.pedantic(build_rows, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+"""Extensions tour: automatic order selection, DC-exact fitting, and
+model persistence.
+
+Shows the workflow pieces a downstream user needs around the core paper
+algorithm: choosing the model order automatically instead of by expertise,
+pinning the DC point exactly (critical for IR-drop sign-off), and saving /
+reloading the macromodel as JSON.
+
+Run:  python examples/order_selection_and_persistence.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import make_paper_testcase
+from repro.sensitivity.zpdn import target_impedance, target_impedance_of_model
+from repro.statespace.serialization import load_model, save_model
+from repro.vectfit import VFOptions, select_model_order, vector_fit
+
+
+def main():
+    testcase = make_paper_testcase()
+    data = testcase.data
+
+    # --- automatic model-order selection -------------------------------
+    sweep = select_model_order(
+        data.omega, data.samples, orders=[6, 8, 10, 12, 14, 16],
+        target_rms=1.2e-3,
+    )
+    print("Order sweep:")
+    for cand in sweep.candidates:
+        marker = " <-- selected" if cand.n_poles == sweep.selected_order else ""
+        print(f"  n = {cand.n_poles:2d}: rms {cand.rms_error:.3e}{marker}")
+
+    # --- DC-exact fitting ----------------------------------------------
+    zref = target_impedance(
+        data.samples, data.omega, testcase.termination, testcase.observe_port
+    )
+    plain = vector_fit(data.omega, data.samples, options=VFOptions(n_poles=12))
+    exact = vector_fit(
+        data.omega, data.samples, options=VFOptions(n_poles=12, dc_exact=True)
+    )
+    for label, fit in [("plain", plain), ("dc_exact", exact)]:
+        z = target_impedance_of_model(
+            fit.model, data.omega, testcase.termination, testcase.observe_port
+        )
+        rel_dc = abs(z[0] - zref[0]) / abs(zref[0])
+        print(f"\n{label}: DC loaded-impedance error {rel_dc:.2e} "
+              f"(rms scattering error {fit.rms_error:.2e})")
+
+    # --- persistence -----------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "model.json"
+        save_model(exact.model, path)
+        reloaded = load_model(path)
+        omega_check = data.omega[::20]
+        match = np.allclose(
+            reloaded.frequency_response(omega_check),
+            exact.model.frequency_response(omega_check),
+        )
+        print(f"\nModel saved to JSON ({path.stat().st_size} bytes) and "
+              f"reloaded; responses identical: {match}")
+
+    print("\nCLI equivalents:")
+    print("  python -m repro testcase --output-dir case/")
+    print("  python -m repro fit case/pdn.s9p --poles 12 --dc-exact")
+    print("  python -m repro flow case/pdn.s9p --termination "
+          "case/termination.json --observe-port 0")
+
+
+if __name__ == "__main__":
+    main()

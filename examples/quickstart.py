@@ -1,0 +1,76 @@
+"""Quickstart: the full sensitivity-weighted macromodeling flow in ~20 lines.
+
+Builds the canonical synthetic PDN test case (the stand-in for the paper's
+Intel package), runs the complete pipeline -- standard fit, sensitivity
+analysis, weighted fit, passivity enforcement with both costs -- and prints
+the accuracy summary that reproduces the paper's headline comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MacromodelingFlow, make_paper_testcase
+from repro.flow.metrics import (
+    ModelAccuracyRow,
+    impedance_error_report,
+    max_relative_impedance_error,
+    max_scattering_error,
+    rms_scattering_error,
+)
+from repro.passivity.check import check_passivity
+
+
+def main():
+    testcase = make_paper_testcase()
+    print(testcase.summary())
+    print()
+
+    flow = MacromodelingFlow()
+    result = flow.run(testcase.data, testcase.termination, testcase.observe_port)
+
+    omega = testcase.data.omega
+    low_band = (0.0, 2 * np.pi * 1e6)
+    rows = []
+    for label, model in [
+        ("standard VF", result.standard_fit.model),
+        ("weighted VF (non-passive)", result.weighted_fit.model),
+        ("passive, standard cost", result.standard_enforced.model),
+        ("passive, weighted cost", result.weighted_enforced.model),
+    ]:
+        rows.append(
+            ModelAccuracyRow(
+                label=label,
+                rms_scattering=rms_scattering_error(
+                    model, omega, testcase.data.samples
+                ),
+                max_scattering=max_scattering_error(
+                    model, omega, testcase.data.samples
+                ),
+                max_rel_impedance=max_relative_impedance_error(
+                    model, omega, result.reference_impedance,
+                    testcase.termination, testcase.observe_port,
+                ),
+                low_band_rel_impedance=max_relative_impedance_error(
+                    model, omega, result.reference_impedance,
+                    testcase.termination, testcase.observe_port, band=low_band,
+                ),
+                is_passive=check_passivity(model).is_passive,
+            )
+        )
+    print(impedance_error_report(rows))
+    print()
+    print(
+        "Enforcement iterations: standard cost "
+        f"{result.standard_enforced.iterations}, weighted cost "
+        f"{result.weighted_enforced.iterations} (paper: 9)"
+    )
+    print(
+        "The paper's point: the two passive models are equally good in the\n"
+        "scattering columns, but only the sensitivity-weighted one keeps\n"
+        "the loaded PDN impedance accurate (low-f relZ column)."
+    )
+
+
+if __name__ == "__main__":
+    main()

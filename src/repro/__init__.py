@@ -1,0 +1,60 @@
+"""repro: sensitivity-weighted passivity enforcement for PDN macromodels.
+
+Reproduction of A. Ubolli, S. Grivet-Talocia, M. Bandinu, A. Chinea,
+"Sensitivity-based weighting for passivity enforcement of linear
+macromodels in power integrity applications", DATE 2014.
+
+Public API tour
+---------------
+* :mod:`repro.pdn` -- synthetic PDN generator (``make_paper_testcase``)
+  and termination networks.
+* :mod:`repro.vectfit` -- weighted Vector Fitting and Magnitude VF.
+* :mod:`repro.sensitivity` -- target impedance (eq. 2), first-order
+  sensitivity (eq. 5), sensitivity weight models (eq. 17) and the weighted
+  perturbation norm (eqs. 18-21).
+* :mod:`repro.passivity` -- Hamiltonian passivity check and iterative
+  enforcement (eqs. 8-10).
+* :mod:`repro.flow` -- the end-to-end pipeline (``MacromodelingFlow``).
+* :mod:`repro.timedomain` -- transient droop simulation of the loaded
+  macromodel.
+"""
+
+from repro.flow.macromodel import FlowOptions, FlowResult, MacromodelingFlow
+from repro.passivity.check import check_passivity
+from repro.passivity.enforce import EnforcementOptions, enforce_passivity
+from repro.pdn.termination import TerminationNetwork
+from repro.pdn.testcase import PDNTestCase, make_paper_testcase
+from repro.sensitivity.firstorder import (
+    sensitivity_analytic,
+    sensitivity_monte_carlo,
+)
+from repro.sensitivity.zpdn import target_impedance, target_impedance_of_model
+from repro.sparams.network import NetworkData
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.vectfit.core import vector_fit
+from repro.vectfit.magnitude import fit_magnitude
+from repro.vectfit.options import VFOptions
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "FlowOptions",
+    "FlowResult",
+    "MacromodelingFlow",
+    "check_passivity",
+    "EnforcementOptions",
+    "enforce_passivity",
+    "TerminationNetwork",
+    "PDNTestCase",
+    "make_paper_testcase",
+    "sensitivity_analytic",
+    "sensitivity_monte_carlo",
+    "target_impedance",
+    "target_impedance_of_model",
+    "NetworkData",
+    "PoleResidueModel",
+    "vector_fit",
+    "fit_magnitude",
+    "VFOptions",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Linear circuit substrate: elements, netlists, AC nodal analysis.
+
+This package replaces the commercial field solver of the paper's flow: it
+produces tabulated scattering data for synthetic PDN structures, and it
+provides the termination component models (decoupling capacitors, VRM,
+active die blocks) used to load the macromodel.
+"""
+
+from repro.circuits.elements import (
+    Branch,
+    Capacitor,
+    Conductance,
+    Inductor,
+    Resistor,
+    SeriesRL,
+    SeriesRLC,
+)
+from repro.circuits.netlist import Circuit, Port
+from repro.circuits.mna import ACAnalysis
+from repro.circuits.components import (
+    DecouplingCapacitor,
+    DieBlock,
+    OpenTermination,
+    PortTermination,
+    ResistiveTermination,
+    ShortTermination,
+    VRMModel,
+)
+
+__all__ = [
+    "Branch",
+    "Resistor",
+    "Inductor",
+    "Capacitor",
+    "Conductance",
+    "SeriesRL",
+    "SeriesRLC",
+    "Circuit",
+    "Port",
+    "ACAnalysis",
+    "PortTermination",
+    "DecouplingCapacitor",
+    "VRMModel",
+    "DieBlock",
+    "OpenTermination",
+    "ShortTermination",
+    "ResistiveTermination",
+]

@@ -1,0 +1,224 @@
+"""Termination component models for PDN ports.
+
+These are the "appropriate models for active device blocks, decoupling
+capacitors, voltage regulators" of the paper's nominal termination scheme
+(Sec. IV):
+
+* VRM port: short circuit (modelled as a small resistance, optionally with
+  a series inductance);
+* board ports: vendor decoupling-capacitor models C + ESR + ESL;
+* die ports: series RC equivalents of the active device blocks;
+* remaining ports: open.
+
+Every termination exposes its one-port admittance ``y(omega)`` (for the
+frequency-domain loading of eq. 1/2) and a real state-space realization
+``(A, B, C, D)`` of the admittance ``i = Y(s) v`` (for time-domain
+closed-loop simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PortTermination:
+    """Base class for one-port termination models."""
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        """Complex admittance Y(j omega) for angular frequency array."""
+        raise NotImplementedError
+
+    def state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Real realization (A, B, C, D) of i = Y(s) v; A may be 0x0."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return type(self).__name__
+
+
+def _empty_states() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return (
+        np.zeros((0, 0)),
+        np.zeros((0, 1)),
+        np.zeros((1, 0)),
+    )
+
+
+@dataclass(frozen=True)
+class OpenTermination(PortTermination):
+    """Open circuit: draws no current."""
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        return np.zeros(omega.shape, dtype=complex)
+
+    def state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        a, b, c = _empty_states()
+        return a, b, c, 0.0
+
+    def describe(self) -> str:
+        return "open"
+
+
+@dataclass(frozen=True)
+class ResistiveTermination(PortTermination):
+    """Pure resistor to ground."""
+
+    resistance: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError("resistance must be positive")
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        return np.full(omega.shape, 1.0 / self.resistance, dtype=complex)
+
+    def state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        a, b, c = _empty_states()
+        return a, b, c, 1.0 / self.resistance
+
+    def describe(self) -> str:
+        return f"R={self.resistance:g} ohm"
+
+
+@dataclass(frozen=True)
+class ShortTermination(PortTermination):
+    """Near-ideal short: small resistance to keep the loaded system regular."""
+
+    resistance: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError("resistance must be positive")
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        return np.full(omega.shape, 1.0 / self.resistance, dtype=complex)
+
+    def state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        a, b, c = _empty_states()
+        return a, b, c, 1.0 / self.resistance
+
+    def describe(self) -> str:
+        return f"short (R={self.resistance:g} ohm)"
+
+
+@dataclass(frozen=True)
+class VRMModel(PortTermination):
+    """Voltage Regulator Module output model: series R + L to ground.
+
+    With the default tiny inductance this behaves as the paper's VRM short
+    at all frequencies of interest, while remaining a proper dynamical
+    one-port for time-domain simulation.
+    """
+
+    resistance: float = 1e-3
+    inductance: float = 1e-10
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError("resistance must be positive")
+        if self.inductance <= 0.0:
+            raise ValueError("inductance must be positive")
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        return 1.0 / (self.resistance + 1j * omega * self.inductance)
+
+    def state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        # State: inductor current iL. diL/dt = (v - R iL)/L, i = iL.
+        a = np.array([[-self.resistance / self.inductance]])
+        b = np.array([[1.0 / self.inductance]])
+        c = np.array([[1.0]])
+        return a, b, c, 0.0
+
+    def describe(self) -> str:
+        return f"VRM R={self.resistance:g} L={self.inductance:g}"
+
+
+@dataclass(frozen=True)
+class DecouplingCapacitor(PortTermination):
+    """Vendor decap model: series C + ESR + ESL to ground."""
+
+    capacitance: float = 1e-6
+    esr: float = 5e-3
+    esl: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise ValueError("capacitance must be positive")
+        if self.esr <= 0.0:
+            raise ValueError("ESR must be positive")
+        if self.esl <= 0.0:
+            raise ValueError("ESL must be positive")
+
+    @property
+    def resonance_hz(self) -> float:
+        """Series resonance frequency where the decap is most effective."""
+        return 1.0 / (2.0 * np.pi * np.sqrt(self.esl * self.capacitance))
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        out = np.zeros(omega.shape, dtype=complex)
+        nonzero = omega != 0.0
+        w = omega[nonzero]
+        z = self.esr + 1j * w * self.esl + 1.0 / (1j * w * self.capacitance)
+        out[nonzero] = 1.0 / z
+        return out
+
+    def state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        # States: [iL, vC]. L diL/dt = v - ESR iL - vC ; C dvC/dt = iL.
+        a = np.array(
+            [
+                [-self.esr / self.esl, -1.0 / self.esl],
+                [1.0 / self.capacitance, 0.0],
+            ]
+        )
+        b = np.array([[1.0 / self.esl], [0.0]])
+        c = np.array([[1.0, 0.0]])
+        return a, b, c, 0.0
+
+    def describe(self) -> str:
+        return (
+            f"decap C={self.capacitance:g} ESR={self.esr:g} ESL={self.esl:g} "
+            f"(f_res={self.resonance_hz:.3g} Hz)"
+        )
+
+
+@dataclass(frozen=True)
+class DieBlock(PortTermination):
+    """Active die block equivalent: series R + C to ground (paper Sec. IV)."""
+
+    resistance: float = 0.1
+    capacitance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError("resistance must be positive")
+        if self.capacitance <= 0.0:
+            raise ValueError("capacitance must be positive")
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        out = np.zeros(omega.shape, dtype=complex)
+        nonzero = omega != 0.0
+        w = omega[nonzero]
+        z = self.resistance + 1.0 / (1j * w * self.capacitance)
+        out[nonzero] = 1.0 / z
+        return out
+
+    def state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        # State: vC. C dvC/dt = i = (v - vC)/R, i = (v - vC)/R.
+        tau = self.resistance * self.capacitance
+        a = np.array([[-1.0 / tau]])
+        b = np.array([[1.0 / tau]])
+        c = np.array([[-1.0 / self.resistance]])
+        return a, b, c, 1.0 / self.resistance
+
+    def describe(self) -> str:
+        return f"die block R={self.resistance:g} C={self.capacitance:g}"

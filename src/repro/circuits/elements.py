@@ -1,0 +1,191 @@
+"""Two-terminal branch elements with frequency-dependent admittance.
+
+All elements are represented as branches between two named nodes with a
+complex admittance ``y(omega)``.  Composite branches (series RL, series RLC)
+are first-class elements so that PDN grids need no internal nodes for the
+ubiquitous R+L spreading branches and C+ESR+ESL decap paths; this keeps the
+nodal matrices small and, crucially, finite at DC (a pure inductor has
+infinite DC admittance, a series RL with R > 0 does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+Node = str
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Base class for a two-terminal element between ``node_a`` and ``node_b``."""
+
+    node_a: Node
+    node_b: Node
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        """Complex admittance at angular frequencies ``omega`` (rad/s)."""
+        raise NotImplementedError
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise ValueError(f"branch terminals coincide on node {self.node_a!r}")
+
+
+@dataclass(frozen=True)
+class Resistor(Branch):
+    """Ideal resistor of ``resistance`` ohms."""
+
+    resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.resistance <= 0.0:
+            raise ValueError("resistance must be positive")
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        return np.full(omega.shape, 1.0 / self.resistance, dtype=complex)
+
+
+@dataclass(frozen=True)
+class Conductance(Branch):
+    """Ideal conductance of ``conductance`` siemens (zero allowed)."""
+
+    conductance: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.conductance < 0.0:
+            raise ValueError("conductance must be non-negative")
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        return np.full(omega.shape, self.conductance, dtype=complex)
+
+
+@dataclass(frozen=True)
+class Inductor(Branch):
+    """Ideal inductor; infinite admittance at DC, so omega must be > 0.
+
+    Prefer :class:`SeriesRL` inside PDN grids so the DC point stays solvable.
+    """
+
+    inductance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inductance <= 0.0:
+            raise ValueError("inductance must be positive")
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        if np.any(omega == 0.0):
+            raise ValueError(
+                "ideal inductor admittance diverges at DC; use SeriesRL instead"
+            )
+        return 1.0 / (1j * omega * self.inductance)
+
+
+@dataclass(frozen=True)
+class Capacitor(Branch):
+    """Capacitor with dielectric losses.
+
+    ``leakage`` is a constant parallel conductance; ``loss_tangent`` models
+    the frequency-proportional dielectric loss of real laminates
+    (G(omega) = omega * C * tan_delta), which is what damps power-plane
+    resonances in practice.
+    """
+
+    capacitance: float = 1e-12
+    leakage: float = 0.0
+    loss_tangent: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.capacitance <= 0.0:
+            raise ValueError("capacitance must be positive")
+        if self.leakage < 0.0:
+            raise ValueError("leakage must be non-negative")
+        if self.loss_tangent < 0.0:
+            raise ValueError("loss_tangent must be non-negative")
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        conductance = self.leakage + omega * self.capacitance * self.loss_tangent
+        return conductance + 1j * omega * self.capacitance
+
+
+@dataclass(frozen=True)
+class SeriesRL(Branch):
+    """Series resistor + inductor branch: ``y = 1 / (R + j omega L)``.
+
+    The standard unit-cell spreading branch of a power plane model.  Skin
+    effect is modelled with a corner frequency:
+
+        R(omega) = R * sqrt(1 + omega / omega_skin),
+
+    constant below the corner (skin depth exceeds the conductor thickness,
+    so the DC resistance applies -- essential for the milliohm path
+    resistances that set the loaded PDN impedance) and growing like
+    sqrt(omega) above it, which damps GHz plane resonances.
+    ``skin_corner_hz = 0`` disables the effect.
+    """
+
+    resistance: float = 1e-3
+    inductance: float = 1e-10
+    skin_corner_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.resistance <= 0.0:
+            raise ValueError("resistance must be positive (keeps DC solvable)")
+        if self.inductance < 0.0:
+            raise ValueError("inductance must be non-negative")
+        if self.skin_corner_hz < 0.0:
+            raise ValueError("skin_corner_hz must be non-negative")
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        resistance = np.full(omega.shape, self.resistance)
+        if self.skin_corner_hz > 0.0:
+            omega_skin = 2.0 * np.pi * self.skin_corner_hz
+            resistance = self.resistance * np.sqrt(1.0 + np.abs(omega) / omega_skin)
+        return 1.0 / (resistance + 1j * omega * self.inductance)
+
+
+@dataclass(frozen=True)
+class SeriesRLC(Branch):
+    """Series R-L-C branch: the canonical decoupling-capacitor mounting path.
+
+    ``y = 1 / (R + j omega L + 1/(j omega C))``; the admittance vanishes at
+    DC (series capacitor blocks), which keeps DC analysis meaningful.
+    """
+
+    resistance: float = 1e-3
+    inductance: float = 1e-9
+    capacitance: float = 1e-6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.resistance <= 0.0:
+            raise ValueError("resistance (ESR) must be positive")
+        if self.inductance < 0.0:
+            raise ValueError("inductance (ESL) must be non-negative")
+        if self.capacitance <= 0.0:
+            raise ValueError("capacitance must be positive")
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        out = np.zeros(omega.shape, dtype=complex)
+        nonzero = omega != 0.0
+        w = omega[nonzero]
+        impedance = (
+            self.resistance
+            + 1j * w * self.inductance
+            + 1.0 / (1j * w * self.capacitance)
+        )
+        out[nonzero] = 1.0 / impedance
+        # DC: series capacitor is an open circuit.
+        return out

@@ -1,0 +1,146 @@
+"""AC nodal analysis with internal-node reduction.
+
+Every element in :mod:`repro.circuits.elements` is a two-terminal admittance
+branch, so plain nodal analysis (the admittance sub-case of MNA) suffices:
+
+    Y(j omega) v = i
+
+with ground eliminated.  Ports are single-ended node-to-ground pairs; the
+port-level admittance matrix is the Schur complement of the internal nodes
+
+    Y_ports = Y_pp - Y_pi Y_ii^{-1} Y_ip
+
+which is exactly what a field solver exports before scattering conversion.
+Internal solves use sparse LU for grids of any practical size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse
+import scipy.sparse.linalg
+
+from repro.circuits.netlist import Circuit
+from repro.sparams.conversions import y_to_s
+from repro.sparams.network import NetworkData
+from repro.util.validation import check_frequency_grid
+
+
+class ACAnalysis:
+    """Frequency-sweep analyser for a :class:`Circuit`.
+
+    Parameters
+    ----------
+    circuit:
+        Validated netlist with at least one port.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self._circuit = circuit
+        nodes = circuit.nodes  # ports first by construction of Circuit.nodes
+        self._index = {node: i for i, node in enumerate(nodes)}
+        self._n_nodes = len(nodes)
+        self._n_ports = circuit.n_ports
+        # Precompute the stamp pattern: (row, col, branch_index, sign)
+        rows: list[int] = []
+        cols: list[int] = []
+        branch_ids: list[int] = []
+        signs: list[float] = []
+        for b_idx, branch in enumerate(circuit.branches):
+            ia = self._index.get(branch.node_a, -1)
+            ib = self._index.get(branch.node_b, -1)
+            if ia >= 0:
+                rows.append(ia)
+                cols.append(ia)
+                branch_ids.append(b_idx)
+                signs.append(1.0)
+            if ib >= 0:
+                rows.append(ib)
+                cols.append(ib)
+                branch_ids.append(b_idx)
+                signs.append(1.0)
+            if ia >= 0 and ib >= 0:
+                rows.extend((ia, ib))
+                cols.extend((ib, ia))
+                branch_ids.extend((b_idx, b_idx))
+                signs.extend((-1.0, -1.0))
+        self._rows = np.asarray(rows)
+        self._cols = np.asarray(cols)
+        self._branch_ids = np.asarray(branch_ids)
+        self._signs = np.asarray(signs)
+
+    @property
+    def n_ports(self) -> int:
+        return self._n_ports
+
+    # ------------------------------------------------------------------
+    # Core sweeps
+    # ------------------------------------------------------------------
+    def _branch_admittances(self, omega: np.ndarray) -> np.ndarray:
+        """(K, n_branches) complex admittance table."""
+        table = np.empty((omega.size, len(self._circuit.branches)), dtype=complex)
+        for b_idx, branch in enumerate(self._circuit.branches):
+            table[:, b_idx] = branch.admittance(omega)
+        return table
+
+    def _nodal_matrix(self, admittances_k: np.ndarray) -> scipy.sparse.csc_matrix:
+        data = self._signs * admittances_k[self._branch_ids]
+        matrix = scipy.sparse.coo_matrix(
+            (data, (self._rows, self._cols)),
+            shape=(self._n_nodes, self._n_nodes),
+            dtype=complex,
+        )
+        return matrix.tocsc()
+
+    def port_admittance(self, frequencies: np.ndarray) -> np.ndarray:
+        """Port-level admittance matrices, shape (K, P, P)."""
+        frequencies = check_frequency_grid(np.asarray(frequencies, dtype=float))
+        omega = 2.0 * np.pi * frequencies
+        table = self._branch_admittances(omega)
+        n_p = self._n_ports
+        n_i = self._n_nodes - n_p
+        result = np.empty((omega.size, n_p, n_p), dtype=complex)
+        for k in range(omega.size):
+            y_full = self._nodal_matrix(table[k])
+            y_pp = y_full[:n_p, :n_p].toarray()
+            if n_i == 0:
+                result[k] = y_pp
+                continue
+            y_pi = y_full[:n_p, n_p:].toarray()
+            y_ip = y_full[n_p:, :n_p].toarray()
+            y_ii = y_full[n_p:, n_p:]
+            try:
+                lu = scipy.sparse.linalg.splu(y_ii.tocsc())
+                x = lu.solve(y_ip)
+            except RuntimeError as exc:
+                raise np.linalg.LinAlgError(
+                    f"internal nodal matrix singular at f={frequencies[k]:g} Hz; "
+                    "check for floating internal nodes"
+                ) from exc
+            result[k] = y_pp - y_pi @ x
+        return result
+
+    def scattering(self, frequencies: np.ndarray, z0: float = 50.0) -> NetworkData:
+        """Scattering data at the circuit ports, normalized to ``z0``."""
+        y_ports = self.port_admittance(frequencies)
+        samples = y_to_s(y_ports, z0)
+        return NetworkData(
+            frequencies=np.asarray(frequencies, dtype=float),
+            samples=samples,
+            kind="s",
+            z0=z0,
+            port_names=tuple(port.name for port in self._circuit.ports),
+        )
+
+    def input_impedance(
+        self, frequencies: np.ndarray, port: int = 0
+    ) -> np.ndarray:
+        """Driving-point impedance Z_in(j omega) at a single port.
+
+        All other ports are left open (no termination), matching the raw
+        characterization setup.
+        """
+        y_ports = self.port_admittance(frequencies)
+        z = np.linalg.inv(y_ports)
+        return z[:, port, port]

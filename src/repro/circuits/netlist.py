@@ -1,0 +1,106 @@
+"""Netlist container: nodes, branches and port definitions.
+
+A :class:`Circuit` is a collection of two-terminal branches between named
+nodes plus an ordered list of :class:`Port` definitions.  The ground node is
+``"0"`` (SPICE convention).  The circuit is purely topological; all solving
+lives in :mod:`repro.circuits.mna`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.circuits.elements import Branch, Node
+
+GROUND: Node = "0"
+
+
+@dataclass(frozen=True)
+class Port:
+    """A single-ended port between ``node`` and ground with a label."""
+
+    node: Node
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node == GROUND:
+            raise ValueError("a port cannot be attached to the ground node")
+
+
+@dataclass
+class Circuit:
+    """Mutable netlist of branches and ports."""
+
+    branches: list[Branch] = field(default_factory=list)
+    ports: list[Port] = field(default_factory=list)
+
+    def add(self, branch: Branch) -> None:
+        """Append a branch to the netlist."""
+        if not isinstance(branch, Branch):
+            raise TypeError(f"expected a Branch, got {type(branch).__name__}")
+        self.branches.append(branch)
+
+    def add_port(self, node: Node, name: str = "") -> int:
+        """Declare a port at ``node``; returns the port index."""
+        port = Port(node=node, name=name or f"port{len(self.ports) + 1}")
+        for existing in self.ports:
+            if existing.node == node:
+                raise ValueError(f"node {node!r} already carries port {existing.name!r}")
+        self.ports.append(port)
+        return len(self.ports) - 1
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[Node]:
+        """All distinct non-ground nodes, ports first, in deterministic order."""
+        seen: dict[Node, None] = {}
+        for port in self.ports:
+            seen.setdefault(port.node, None)
+        for branch in self.branches:
+            for node in (branch.node_a, branch.node_b):
+                if node != GROUND:
+                    seen.setdefault(node, None)
+        return list(seen)
+
+    @property
+    def n_ports(self) -> int:
+        return len(self.ports)
+
+    def graph(self) -> "nx.MultiGraph":
+        """Connectivity graph over all nodes (including ground)."""
+        graph = nx.MultiGraph()
+        graph.add_nodes_from(self.nodes)
+        graph.add_node(GROUND)
+        for branch in self.branches:
+            graph.add_edge(branch.node_a, branch.node_b, element=branch)
+        return graph
+
+    def validate(self) -> None:
+        """Raise if the netlist cannot be analysed.
+
+        Checks: at least one port; every port node appears in some branch;
+        every non-ground node is connected (possibly through other nodes) to
+        a port or to ground, so the reduced nodal matrix is invertible.
+        """
+        if not self.ports:
+            raise ValueError("circuit has no ports")
+        if not self.branches:
+            raise ValueError("circuit has no branches")
+        graph = self.graph()
+        port_nodes = {port.node for port in self.ports}
+        branch_nodes = {b.node_a for b in self.branches} | {
+            b.node_b for b in self.branches
+        }
+        missing = port_nodes - branch_nodes
+        if missing:
+            raise ValueError(f"port nodes {sorted(missing)} appear in no branch")
+        anchors = port_nodes | {GROUND}
+        for component in nx.connected_components(graph):
+            if not (component & anchors):
+                raise ValueError(
+                    f"floating subcircuit with nodes {sorted(component)[:5]}..."
+                )

@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+Three subcommands cover the practical workflow:
+
+``testcase``
+    Generate the canonical synthetic PDN: Touchstone data + termination
+    spec, ready for the other commands.
+
+``fit``
+    Plain weighted/unweighted vector fit of a Touchstone file; writes the
+    macromodel JSON and a fit report.
+
+``flow``
+    The full paper pipeline on a Touchstone file + termination spec:
+    sensitivity, weighted fit, both passivity enforcements, accuracy
+    report, passive model JSON, and CSV series for plotting.
+
+Examples
+--------
+::
+
+    python -m repro testcase --size small --output-dir case/
+    python -m repro fit case/pdn.s9p --poles 12 --output-dir fit/
+    python -m repro flow case/pdn.s9p --termination case/termination.json \\
+        --observe-port 0 --output-dir flow/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.flow.macromodel import FlowOptions, MacromodelingFlow
+from repro.flow.metrics import (
+    ModelAccuracyRow,
+    impedance_error_report,
+    max_relative_impedance_error,
+    max_scattering_error,
+    rms_scattering_error,
+)
+from repro.passivity.check import check_passivity
+from repro.pdn.spec import load_termination, save_termination
+from repro.pdn.testcase import make_paper_testcase
+from repro.sensitivity.zpdn import target_impedance_of_model
+from repro.sparams.touchstone import read_touchstone, write_touchstone
+from repro.statespace.serialization import save_model
+from repro.vectfit.core import vector_fit
+from repro.vectfit.options import VFOptions
+
+
+def _cmd_testcase(args: argparse.Namespace) -> int:
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    testcase = make_paper_testcase(size=args.size)
+    data_path = out / f"pdn.s{testcase.data.n_ports}p"
+    write_touchstone(testcase.data, data_path)
+    save_termination(testcase.termination, out / "termination.json")
+    (out / "README.txt").write_text(testcase.summary() + "\n", encoding="utf-8")
+    print(f"wrote {data_path}")
+    print(f"wrote {out / 'termination.json'}")
+    print(f"observation port: {testcase.observe_port}")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    data = read_touchstone(args.data)
+    options = VFOptions(n_poles=args.poles, dc_exact=args.dc_exact)
+    result = vector_fit(data.omega, data.samples, options=options)
+    save_model(result.model, out / "model.json")
+    report = check_passivity(result.model)
+    lines = [
+        f"input          : {args.data} ({data.n_ports} ports, "
+        f"{data.n_frequencies} points)",
+        f"model order    : {args.poles}",
+        f"rms error      : {result.rms_error:.4e}",
+        f"converged      : {result.converged} ({result.iterations} iterations)",
+        f"passive        : {report.is_passive} "
+        f"(worst sigma {report.worst_sigma:.6f})",
+    ]
+    (out / "fit_report.txt").write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print("\n".join(lines))
+    print(f"model written to {out / 'model.json'}")
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    data = read_touchstone(args.data)
+    termination = load_termination(args.termination)
+    if termination.n_ports != data.n_ports:
+        print(
+            f"error: termination spec has {termination.n_ports} ports, "
+            f"data has {data.n_ports}",
+            file=sys.stderr,
+        )
+        return 2
+
+    options = FlowOptions(
+        vf=VFOptions(n_poles=args.poles),
+        weight_mode=args.weight_mode,
+        refinement_rounds=args.refinement_rounds,
+        weight_model_order=args.weight_order,
+    )
+    flow = MacromodelingFlow(options)
+    result = flow.run(data, termination, args.observe_port)
+
+    save_model(result.weighted_enforced.model, out / "passive_model.json")
+    omega = data.omega
+    rows = []
+    variants = [
+        ("standard VF", result.standard_fit.model),
+        ("weighted VF (non-passive)", result.weighted_fit.model),
+        ("passive, standard cost", result.standard_enforced.model),
+        ("passive, weighted cost", result.weighted_enforced.model),
+    ]
+    low_band = (0.0, 2 * np.pi * args.low_band_hz)
+    for label, model in variants:
+        rows.append(
+            ModelAccuracyRow(
+                label=label,
+                rms_scattering=rms_scattering_error(model, omega, data.samples),
+                max_scattering=max_scattering_error(model, omega, data.samples),
+                max_rel_impedance=max_relative_impedance_error(
+                    model, omega, result.reference_impedance, termination,
+                    args.observe_port,
+                ),
+                low_band_rel_impedance=max_relative_impedance_error(
+                    model, omega, result.reference_impedance, termination,
+                    args.observe_port, band=low_band,
+                ),
+                is_passive=check_passivity(model).is_passive,
+            )
+        )
+    report = impedance_error_report(rows)
+    (out / "flow_report.txt").write_text(report + "\n", encoding="utf-8")
+    print(report)
+
+    z_final = target_impedance_of_model(
+        result.weighted_enforced.model, omega, termination, args.observe_port
+    )
+    table = np.column_stack(
+        [
+            data.frequencies,
+            np.abs(result.reference_impedance),
+            np.abs(z_final),
+            result.xi,
+            result.final_weights,
+        ]
+    )
+    np.savetxt(
+        out / "flow_series.csv",
+        table,
+        delimiter=",",
+        header="frequency_hz,z_nominal_ohm,z_passive_ohm,xi,weight",
+        comments="",
+    )
+    print(f"passive model : {out / 'passive_model.json'}")
+    print(f"series        : {out / 'flow_series.csv'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sensitivity-weighted passivity enforcement for PDN "
+        "macromodels (Ubolli et al., DATE 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_case = sub.add_parser("testcase", help="generate the synthetic PDN test case")
+    p_case.add_argument("--size", choices=["small", "large"], default="small")
+    p_case.add_argument("--output-dir", default="testcase")
+    p_case.set_defaults(func=_cmd_testcase)
+
+    p_fit = sub.add_parser("fit", help="vector-fit a Touchstone file")
+    p_fit.add_argument("data", help="input .sNp file")
+    p_fit.add_argument("--poles", type=int, default=12)
+    p_fit.add_argument("--dc-exact", action="store_true")
+    p_fit.add_argument("--output-dir", default="fit")
+    p_fit.set_defaults(func=_cmd_fit)
+
+    p_flow = sub.add_parser("flow", help="run the full paper pipeline")
+    p_flow.add_argument("data", help="input .sNp file")
+    p_flow.add_argument("--termination", required=True, help="termination JSON spec")
+    p_flow.add_argument("--observe-port", type=int, default=0)
+    p_flow.add_argument("--poles", type=int, default=12)
+    p_flow.add_argument("--weight-mode", choices=["relative", "absolute"],
+                        default="relative")
+    p_flow.add_argument("--refinement-rounds", type=int, default=3)
+    p_flow.add_argument("--weight-order", type=int, default=8)
+    p_flow.add_argument("--low-band-hz", type=float, default=1e6)
+    p_flow.add_argument("--output-dir", default="flow")
+    p_flow.set_defaults(func=_cmd_flow)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""End-to-end macromodeling flow and accuracy metrics."""
+
+from repro.flow.macromodel import FlowOptions, FlowResult, MacromodelingFlow
+from repro.flow.metrics import (
+    impedance_error_report,
+    max_relative_impedance_error,
+    rms_scattering_error,
+)
+
+__all__ = [
+    "FlowOptions",
+    "FlowResult",
+    "MacromodelingFlow",
+    "impedance_error_report",
+    "max_relative_impedance_error",
+    "rms_scattering_error",
+]

@@ -1,0 +1,104 @@
+"""Accuracy metrics for macromodels: scattering-domain and loaded-impedance
+errors, plus tabular reports used by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pdn.termination import TerminationNetwork
+from repro.sensitivity.zpdn import target_impedance_of_model
+from repro.statespace.poleresidue import PoleResidueModel
+
+
+def rms_scattering_error(
+    model: PoleResidueModel, omega: np.ndarray, samples: np.ndarray
+) -> float:
+    """Unweighted RMS scattering error (paper eq. 4 scale)."""
+    response = model.frequency_response(np.asarray(omega, dtype=float))
+    return float(np.sqrt(np.mean(np.abs(response - samples) ** 2)))
+
+
+def max_scattering_error(
+    model: PoleResidueModel, omega: np.ndarray, samples: np.ndarray
+) -> float:
+    """Worst-case entry-wise scattering error."""
+    response = model.frequency_response(np.asarray(omega, dtype=float))
+    return float(np.max(np.abs(response - samples)))
+
+
+def relative_impedance_error(
+    model: PoleResidueModel,
+    omega: np.ndarray,
+    reference: np.ndarray,
+    termination: TerminationNetwork,
+    observe_port: int,
+    *,
+    z0: float = 50.0,
+) -> np.ndarray:
+    """Per-frequency relative target-impedance error |Z_model - Z_ref|/|Z_ref|."""
+    z_model = target_impedance_of_model(
+        model, omega, termination, observe_port, z0=z0
+    )
+    return np.abs(z_model - reference) / np.abs(reference)
+
+
+def max_relative_impedance_error(
+    model: PoleResidueModel,
+    omega: np.ndarray,
+    reference: np.ndarray,
+    termination: TerminationNetwork,
+    observe_port: int,
+    *,
+    band: tuple[float, float] | None = None,
+    z0: float = 50.0,
+) -> float:
+    """Maximum relative target-impedance error, optionally band-limited.
+
+    ``band`` is an (omega_low, omega_high) angular-frequency window; the
+    paper's headline claim concerns the low-frequency band where standard
+    enforcement destroys accuracy.
+    """
+    omega = np.asarray(omega, dtype=float)
+    errors = relative_impedance_error(
+        model, omega, reference, termination, observe_port, z0=z0
+    )
+    if band is not None:
+        mask = (omega >= band[0]) & (omega <= band[1])
+        if not mask.any():
+            raise ValueError("band selects no frequency points")
+        errors = errors[mask]
+    return float(np.max(errors))
+
+
+@dataclass(frozen=True)
+class ModelAccuracyRow:
+    """One row of the accuracy summary table (per model variant)."""
+
+    label: str
+    rms_scattering: float
+    max_scattering: float
+    max_rel_impedance: float
+    low_band_rel_impedance: float
+    is_passive: bool
+
+    def format(self) -> str:
+        return (
+            f"{self.label:<28s} {self.rms_scattering:11.3e} "
+            f"{self.max_scattering:11.3e} {self.max_rel_impedance:13.4f} "
+            f"{self.low_band_rel_impedance:13.4f} {str(self.is_passive):>7s}"
+        )
+
+
+def impedance_error_report(
+    rows: list[ModelAccuracyRow],
+) -> str:
+    """Render the accuracy summary table (derived Table B of DESIGN.md)."""
+    header = (
+        f"{'model':<28s} {'rms(S err)':>11s} {'max(S err)':>11s} "
+        f"{'max relZ':>13s} {'low-f relZ':>13s} {'passive':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    lines.extend(row.format() for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Linearized singular-value constraints for passivity enforcement.
+
+At each violation frequency omega_nu with singular triplet
+(sigma_i, u_i, v_i) of S(j omega_nu), the first-order perturbation of the
+singular value under a residue (C-matrix) perturbation is (paper eq. 8)
+
+    delta sigma_i = Re{ u_i^H  deltaS(j omega_nu)  v_i },
+    deltaS(j omega_nu)_ab = k(omega_nu)^T delta_c_ab ,
+
+where k(omega) = (j omega I - A_e)^{-1} b_e is the shared element transfer
+kernel.  Stacking the per-element coefficients x = [delta_c_ab] row-major
+gives one linear constraint row per (frequency, singular value):
+
+    F x <= g ,   g = (1 - margin) - sigma_i              (paper eq. 9)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.statespace.poleresidue import PoleResidueModel
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """Linear inequality constraints F x <= g on the flattened perturbation.
+
+    ``x`` flattens the (P, P, N) element-coefficient perturbation in C
+    order: x[((a * P) + b) * N + n] = delta_c[a, b, n].
+    """
+
+    matrix: np.ndarray
+    bounds: np.ndarray
+    frequencies: np.ndarray
+    sigmas: np.ndarray
+
+    @property
+    def n_constraints(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def residual(self, x: np.ndarray) -> np.ndarray:
+        """Constraint slack g - F x (negative entries are violations)."""
+        return self.bounds - self.matrix @ x
+
+
+def flatten_delta(delta_c: np.ndarray) -> np.ndarray:
+    """Flatten a (P, P, N) perturbation into the constraint vector layout."""
+    return np.asarray(delta_c, dtype=float).reshape(-1)
+
+
+def unflatten_delta(x: np.ndarray, n_ports: int, n_states: int) -> np.ndarray:
+    """Inverse of :func:`flatten_delta`."""
+    return np.asarray(x, dtype=float).reshape(n_ports, n_ports, n_states)
+
+
+def build_constraints(
+    model: PoleResidueModel,
+    frequencies: np.ndarray,
+    *,
+    margin: float = 1e-6,
+    include_threshold: float = 0.999,
+) -> ConstraintSet:
+    """Assemble linearized constraints at the given angular frequencies.
+
+    For each frequency, every singular value above ``include_threshold`` is
+    constrained to end up below 1 - margin; constraining the near-violating
+    values too prevents the perturbation from pushing a previously safe
+    singular value over the limit.
+    """
+    frequencies = np.atleast_1d(np.asarray(frequencies, dtype=float))
+    p = model.n_ports
+    n = model.element_state_dimension()
+    a_e, b_e = model.element_dynamics()
+    eye = np.eye(n)
+
+    rows: list[np.ndarray] = []
+    bounds: list[float] = []
+    used_freqs: list[float] = []
+    used_sigmas: list[float] = []
+    for omega in frequencies:
+        response = model.frequency_response(np.array([omega]))[0]
+        u, sigma, vh = np.linalg.svd(response)
+        kernel = np.linalg.solve(1j * omega * eye - a_e, b_e)  # (N,)
+        for i, sigma_i in enumerate(sigma):
+            if sigma_i < include_threshold:
+                continue
+            # Coefficient of delta_c_ab in delta sigma_i:
+            #   Re{ conj(u[a,i]) * v[b,i] * kernel[n] }
+            outer_uv = np.conj(u[:, i])[:, None] * vh[i, :].conj()[None, :]
+            row = np.real(
+                outer_uv[:, :, None] * kernel[None, None, :]
+            ).reshape(-1)
+            rows.append(row)
+            bounds.append((1.0 - margin) - sigma_i)
+            used_freqs.append(float(omega))
+            used_sigmas.append(float(sigma_i))
+
+    if not rows:
+        return ConstraintSet(
+            matrix=np.zeros((0, p * p * n)),
+            bounds=np.zeros(0),
+            frequencies=np.zeros(0),
+            sigmas=np.zeros(0),
+        )
+    return ConstraintSet(
+        matrix=np.vstack(rows),
+        bounds=np.asarray(bounds),
+        frequencies=np.asarray(used_freqs),
+        sigmas=np.asarray(used_sigmas),
+    )

@@ -1,0 +1,104 @@
+"""Convex QP solver for the passivity-enforcement subproblem (paper eq. 9).
+
+The subproblem is
+
+    minimize   1/2 x^T H x     subject to   F x <= g ,
+
+with H block-diagonal SPD (a :class:`BlockDiagonalCost`) and few
+constraints.  Strong duality holds, and the dual is a small non-negative
+quadratic program
+
+    minimize_{lambda >= 0}  1/2 lambda^T (F H^-1 F^T) lambda + g^T lambda
+
+whose exact solution is obtained with the Lawson-Hanson NNLS active-set
+algorithm after a Cholesky rewrite:
+
+    M = F H^-1 F^T = R^T R   =>   lambda = argmin ||R lambda + R^-T g||^2, lambda>=0
+
+and the primal recovers as x = -H^-1 F^T lambda.  This replaces the
+commercial SOCP solver used by the paper (no external optimizers are
+available offline); for this problem class the two are equivalent since
+the SOCP's conic objective is exactly the quadratic form minimized here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+import scipy.optimize
+
+from repro.passivity.cost import BlockDiagonalCost
+from repro.passivity.perturbation import ConstraintSet
+
+
+@dataclass(frozen=True)
+class QPSolution:
+    """Solution of the enforcement QP.
+
+    ``delta_c`` has shape (P, P, N); ``cost`` is the achieved quadratic
+    value; ``max_violation`` is the worst remaining linearized constraint
+    violation (should be ~0 for a feasible solve).
+    """
+
+    delta_c: np.ndarray
+    cost: float
+    max_violation: float
+    dual: np.ndarray
+
+
+def _solve_h_inv_ft(
+    cost: BlockDiagonalCost, constraints: ConstraintSet
+) -> np.ndarray:
+    """Compute Y = H^-1 F^T exploiting the block structure; (P*P*N, n_c)."""
+    p, n = cost.n_ports, cost.n_states
+    n_c = constraints.n_constraints
+    f = constraints.matrix  # (n_c, P*P*N)
+    y = np.empty((p * p * n, n_c))
+    for a in range(p):
+        for b in range(p):
+            start = ((a * p) + b) * n
+            block_ft = f[:, start : start + n].T  # (N, n_c)
+            y[start : start + n] = cost.solve(a, b, block_ft)
+    return y
+
+
+def solve_block_qp(
+    cost: BlockDiagonalCost,
+    constraints: ConstraintSet,
+    *,
+    dual_ridge: float = 1e-12,
+) -> QPSolution:
+    """Solve min 1/2 x^T H x s.t. F x <= g via the dual NNLS route."""
+    p, n = cost.n_ports, cost.n_states
+    if constraints.n_constraints == 0:
+        return QPSolution(
+            delta_c=np.zeros((p, p, n)),
+            cost=0.0,
+            max_violation=0.0,
+            dual=np.zeros(0),
+        )
+    f = constraints.matrix
+    g = constraints.bounds
+    y = _solve_h_inv_ft(cost, constraints)
+    m = f @ y  # F H^-1 F^T, (n_c, n_c), PSD
+    m = 0.5 * (m + m.T)
+    scale = max(float(np.trace(m)) / m.shape[0], 1e-300)
+    m_reg = m + dual_ridge * scale * np.eye(m.shape[0])
+    r = scipy.linalg.cholesky(m_reg, lower=False, check_finite=False)
+    # min_lambda>=0 1/2 l^T M l + g^T l  ==  min ||R l + R^-T g||^2 / 2
+    rhs = scipy.linalg.solve_triangular(
+        r, -g, trans="T", lower=False, check_finite=False
+    )
+    lam, _ = scipy.optimize.nnls(r, rhs)
+    x = -(y @ lam)
+    delta_c = x.reshape(p, p, n)
+    value = 0.5 * cost.quadratic_value(delta_c)
+    violation = float(np.max(constraints.matrix @ x - g)) if g.size else 0.0
+    return QPSolution(
+        delta_c=delta_c,
+        cost=value,
+        max_violation=max(violation, 0.0),
+        dual=lam,
+    )

@@ -1,0 +1,26 @@
+"""Synthetic Power Distribution Network generator and termination schemes.
+
+Substitute for the paper's proprietary Intel test case: builds board +
+package power-plane grids with vias, solves them with the in-house MNA
+engine, and exports tabulated scattering data in the paper's format
+(1 kHz - 2 GHz, logarithmic sampling, DC point, R0 = 50 ohm).
+"""
+
+from repro.pdn.geometry import ConnectionSpec, PDNGeometry, PlaneSpec, PortSpec
+from repro.pdn.builder import build_circuit
+from repro.pdn.spec import load_termination, save_termination
+from repro.pdn.termination import TerminationNetwork
+from repro.pdn.testcase import PDNTestCase, make_paper_testcase
+
+__all__ = [
+    "PlaneSpec",
+    "ConnectionSpec",
+    "PortSpec",
+    "PDNGeometry",
+    "build_circuit",
+    "load_termination",
+    "save_termination",
+    "TerminationNetwork",
+    "PDNTestCase",
+    "make_paper_testcase",
+]

@@ -1,0 +1,64 @@
+"""Translate a :class:`PDNGeometry` into a solvable :class:`Circuit`.
+
+Each plane becomes a rectangular grid graph (built with networkx) whose
+edges are SeriesRL spreading branches and whose nodes carry shunt plane
+capacitance; vertical connections become SeriesRL branches between planes;
+ports are registered in geometry order so that the scattering data port
+ordering matches the PortSpec list.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuits.elements import Capacitor, SeriesRL
+from repro.circuits.netlist import GROUND, Circuit
+from repro.pdn.geometry import PDNGeometry, PlaneSpec
+
+
+def _add_plane(circuit: Circuit, plane: PlaneSpec) -> None:
+    """Stamp one plane's grid branches and shunt capacitances."""
+    grid = nx.grid_2d_graph(plane.nx, plane.ny)
+    for (ax, ay), (bx, by) in grid.edges():
+        circuit.add(
+            SeriesRL(
+                node_a=plane.node_name(ax, ay),
+                node_b=plane.node_name(bx, by),
+                resistance=plane.cell_resistance,
+                inductance=plane.cell_inductance,
+                skin_corner_hz=plane.skin_corner_hz,
+            )
+        )
+    for ix, iy in grid.nodes():
+        circuit.add(
+            Capacitor(
+                node_a=plane.node_name(ix, iy),
+                node_b=GROUND,
+                capacitance=plane.node_capacitance,
+                leakage=plane.node_leakage,
+                loss_tangent=plane.loss_tangent,
+            )
+        )
+
+
+def build_circuit(geometry: PDNGeometry) -> Circuit:
+    """Build the full PDN circuit from its geometric description."""
+    geometry.validate()
+    circuit = Circuit()
+    # Register ports first so that Circuit.nodes orders port nodes first.
+    for port in geometry.ports:
+        plane = geometry.plane(port.plane)
+        circuit.add_port(plane.node_name(*port.coord), name=port.name)
+    for plane in geometry.planes:
+        _add_plane(circuit, plane)
+    for conn in geometry.connections:
+        circuit.add(
+            SeriesRL(
+                node_a=geometry.plane(conn.plane_a).node_name(*conn.coord_a),
+                node_b=geometry.plane(conn.plane_b).node_name(*conn.coord_b),
+                resistance=conn.resistance,
+                inductance=conn.inductance,
+            )
+        )
+    circuit.validate()
+    return circuit

@@ -1,0 +1,139 @@
+"""Declarative description of a multi-plane PDN structure.
+
+A PDN is described as a set of rectangular power/ground plane pairs, each
+discretized into a unit-cell grid (series R+L spreading branches between
+neighbouring cells, shunt C+G plane capacitance per cell), plus vertical
+connections (vias, BGA balls, bumps) between planes, and port locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PlaneSpec:
+    """A discretized power/ground plane pair.
+
+    Parameters
+    ----------
+    name:
+        Unique plane identifier, used to build node names.
+    nx, ny:
+        Grid cell counts along x and y (nodes: nx*ny).
+    cell_resistance:
+        Series resistance of one inter-node spreading branch, ohms.
+    cell_inductance:
+        Series inductance of one spreading branch, henries.
+    node_capacitance:
+        Plane-pair capacitance lumped at each node, farads.
+    node_leakage:
+        Constant dielectric-leakage conductance lumped at each node, siemens.
+    loss_tangent:
+        Dielectric loss tangent of the plane capacitance (FR4 ~ 0.02); the
+        dominant damping of plane resonances.
+    skin_corner_hz:
+        Skin-effect corner frequency of the spreading branches (Hz);
+        resistance is constant below it and grows like sqrt(f) above.
+        0 disables the effect.
+    """
+
+    name: str
+    nx: int
+    ny: int
+    cell_resistance: float
+    cell_inductance: float
+    node_capacitance: float
+    node_leakage: float = 0.0
+    loss_tangent: float = 0.0
+    skin_corner_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("grid must have at least one node per axis")
+        if self.cell_resistance <= 0.0:
+            raise ValueError("cell_resistance must be positive")
+        if self.cell_inductance < 0.0:
+            raise ValueError("cell_inductance must be non-negative")
+        if self.node_capacitance <= 0.0:
+            raise ValueError("node_capacitance must be positive")
+        if self.node_leakage < 0.0:
+            raise ValueError("node_leakage must be non-negative")
+
+    def node_name(self, ix: int, iy: int) -> str:
+        """Canonical node name for grid coordinate (ix, iy)."""
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise ValueError(
+                f"coordinate ({ix},{iy}) outside {self.nx}x{self.ny} plane {self.name!r}"
+            )
+        return f"{self.name}_{ix}_{iy}"
+
+
+@dataclass(frozen=True)
+class ConnectionSpec:
+    """Vertical connection (via / BGA ball / bump) between two plane nodes."""
+
+    plane_a: str
+    coord_a: tuple[int, int]
+    plane_b: str
+    coord_b: tuple[int, int]
+    resistance: float
+    inductance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError("connection resistance must be positive")
+        if self.inductance < 0.0:
+            raise ValueError("connection inductance must be non-negative")
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Port located at a plane grid node."""
+
+    plane: str
+    coord: tuple[int, int]
+    name: str
+    role: str = "generic"  # one of: die, decap, vrm, open, generic
+
+    _ROLES = ("die", "decap", "vrm", "open", "generic")
+
+    def __post_init__(self) -> None:
+        if self.role not in self._ROLES:
+            raise ValueError(f"role must be one of {self._ROLES}, got {self.role!r}")
+
+
+@dataclass
+class PDNGeometry:
+    """Full PDN description: planes, vertical connections, ports."""
+
+    planes: list[PlaneSpec] = field(default_factory=list)
+    connections: list[ConnectionSpec] = field(default_factory=list)
+    ports: list[PortSpec] = field(default_factory=list)
+
+    def plane(self, name: str) -> PlaneSpec:
+        """Look up a plane by name."""
+        for spec in self.planes:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no plane named {name!r}")
+
+    def validate(self) -> None:
+        """Check name uniqueness and that references resolve."""
+        names = [p.name for p in self.planes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate plane names")
+        if not self.ports:
+            raise ValueError("geometry defines no ports")
+        port_names = [p.name for p in self.ports]
+        if len(set(port_names)) != len(port_names):
+            raise ValueError("duplicate port names")
+        for conn in self.connections:
+            self.plane(conn.plane_a).node_name(*conn.coord_a)
+            self.plane(conn.plane_b).node_name(*conn.coord_b)
+        for port in self.ports:
+            self.plane(port.plane).node_name(*port.coord)
+
+    def ports_with_role(self, role: str) -> list[int]:
+        """Indices of ports having the given role."""
+        return [i for i, p in enumerate(self.ports) if p.role == role]

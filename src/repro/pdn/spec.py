@@ -1,0 +1,106 @@
+"""JSON termination-network specifications.
+
+Lets the CLI (and users) describe the nominal termination scheme of paper
+eq. (1) in a plain file:
+
+```json
+{"ports": [
+  {"type": "die_rc", "resistance": 0.2, "capacitance": 2e-9, "excitation": 0.25},
+  {"type": "decap", "capacitance": 1e-5, "esr": 5e-3, "esl": 2e-9},
+  {"type": "short", "resistance": 1e-4},
+  {"type": "vrm", "resistance": 1e-3, "inductance": 1e-10},
+  {"type": "resistor", "resistance": 50.0},
+  {"type": "open"}
+]}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuits.components import (
+    DecouplingCapacitor,
+    DieBlock,
+    OpenTermination,
+    PortTermination,
+    ResistiveTermination,
+    ShortTermination,
+    VRMModel,
+)
+from repro.pdn.termination import TerminationNetwork
+
+
+def _build_component(entry: dict) -> PortTermination:
+    kind = entry.get("type")
+    params = {k: v for k, v in entry.items() if k not in ("type", "excitation")}
+    try:
+        if kind == "open":
+            return OpenTermination(**params)
+        if kind == "resistor":
+            return ResistiveTermination(**params)
+        if kind == "short":
+            return ShortTermination(**params)
+        if kind == "vrm":
+            return VRMModel(**params)
+        if kind == "decap":
+            return DecouplingCapacitor(**params)
+        if kind == "die_rc":
+            return DieBlock(**params)
+    except TypeError as exc:
+        raise ValueError(f"bad parameters for termination {kind!r}: {exc}") from exc
+    raise ValueError(f"unknown termination type {kind!r}")
+
+
+_COMPONENT_NAMES = {
+    OpenTermination: "open",
+    ResistiveTermination: "resistor",
+    ShortTermination: "short",
+    VRMModel: "vrm",
+    DecouplingCapacitor: "decap",
+    DieBlock: "die_rc",
+}
+
+_COMPONENT_FIELDS = {
+    "open": (),
+    "resistor": ("resistance",),
+    "short": ("resistance",),
+    "vrm": ("resistance", "inductance"),
+    "decap": ("capacitance", "esr", "esl"),
+    "die_rc": ("resistance", "capacitance"),
+}
+
+
+def load_termination(path: str | Path) -> TerminationNetwork:
+    """Read a termination network from a JSON spec file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = payload.get("ports")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: spec must contain a non-empty 'ports' list")
+    terminations = [_build_component(entry) for entry in entries]
+    excitations = np.array([float(entry.get("excitation", 0.0)) for entry in entries])
+    return TerminationNetwork(terminations=terminations, excitations=excitations)
+
+
+def save_termination(network: TerminationNetwork, path: str | Path) -> None:
+    """Write a termination network as a JSON spec file."""
+    entries = []
+    for port, term in enumerate(network.terminations):
+        kind = _COMPONENT_NAMES.get(type(term))
+        if kind is None:
+            raise ValueError(
+                f"cannot serialize termination of type {type(term).__name__}"
+            )
+        entry: dict = {"type": kind}
+        for field_name in _COMPONENT_FIELDS[kind]:
+            entry[field_name] = getattr(term, field_name)
+        excitation = float(network.excitations[port])
+        if excitation:
+            entry["excitation"] = excitation
+        entries.append(entry)
+    Path(path).write_text(
+        json.dumps({"ports": entries}, indent=1), encoding="utf-8"
+    )

@@ -1,0 +1,82 @@
+"""Generalized Norton termination network (paper eq. 1).
+
+    -I(s) = Y_L(s) V(s) - J(s)
+
+``Y_L`` is the (diagonal, in the paper's nominal scheme) short-circuit load
+admittance built from per-port termination components, and ``J`` collects
+the independent current excitations.  The paper's nominal excitation is a
+total of 1 A split equally over the active-die ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.components import OpenTermination, PortTermination
+
+
+@dataclass
+class TerminationNetwork:
+    """Per-port termination components plus current excitation vector.
+
+    Parameters
+    ----------
+    terminations:
+        One :class:`PortTermination` per port, in port order.
+    excitations:
+        Real current-source amplitudes per port (A); defaults to all zero.
+    """
+
+    terminations: list[PortTermination]
+    excitations: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.terminations:
+            raise ValueError("termination network needs at least one port")
+        for term in self.terminations:
+            if not isinstance(term, PortTermination):
+                raise TypeError(
+                    f"expected PortTermination, got {type(term).__name__}"
+                )
+        if self.excitations is None:
+            self.excitations = np.zeros(len(self.terminations))
+        self.excitations = np.asarray(self.excitations, dtype=float)
+        if self.excitations.shape != (len(self.terminations),):
+            raise ValueError(
+                f"excitations must have shape ({len(self.terminations)},)"
+            )
+
+    @property
+    def n_ports(self) -> int:
+        return len(self.terminations)
+
+    def admittance_matrices(self, omega: np.ndarray) -> np.ndarray:
+        """Diagonal load admittance stack Y_L(j omega), shape (K, P, P)."""
+        omega = np.asarray(omega, dtype=float)
+        diag = np.empty((omega.size, self.n_ports), dtype=complex)
+        for p, term in enumerate(self.terminations):
+            diag[:, p] = term.admittance(omega)
+        out = np.zeros((omega.size, self.n_ports, self.n_ports), dtype=complex)
+        idx = np.arange(self.n_ports)
+        out[:, idx, idx] = diag
+        return out
+
+    def source_vector(self) -> np.ndarray:
+        """Current excitation vector J (frequency independent, real)."""
+        return self.excitations.copy()
+
+    def describe(self) -> list[str]:
+        """One line per port: index, component description, excitation."""
+        lines = []
+        for p, term in enumerate(self.terminations):
+            j = self.excitations[p]
+            suffix = f", J={j:g} A" if j else ""
+            lines.append(f"port {p}: {term.describe()}{suffix}")
+        return lines
+
+    @classmethod
+    def all_open(cls, n_ports: int) -> "TerminationNetwork":
+        """Convenience: every port open, no excitation."""
+        return cls(terminations=[OpenTermination() for _ in range(n_ports)])

@@ -1,0 +1,243 @@
+"""Canonical synthetic PDN test cases.
+
+The paper evaluates on a proprietary Intel package ("single power domain at
+small form factor, few layers package", 45 ports: 24 die, 12 decap, 1 VRM,
+rest open).  We reproduce the *structure* of that test case with a synthetic
+board+package plane-pair PDN whose loaded target impedance exhibits the same
+qualitative features: milliohm-level low-frequency impedance dominated by
+the VRM short, decap anti-resonances at mid frequencies, plane resonances
+near 0.3-1 GHz, and -- crucially -- a target-impedance sensitivity that is
+orders of magnitude larger at low frequency than at high frequency, because
+the near-ideal port-to-port through connection of the power net makes
+(I + S) almost singular there.
+
+Two sizes are provided:
+
+* ``"small"`` (default): 9 ports (4 die, 3 decap, 1 VRM, 1 open) on an
+  8x8 board grid + 4x4 package grid; the full macromodeling pipeline runs
+  in seconds.
+* ``"large"``: 20 ports (10 die, 6 decap, 1 VRM, 3 open) on a 12x12 board
+  + 6x6 package, for scaling studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.components import (
+    DecouplingCapacitor,
+    DieBlock,
+    OpenTermination,
+    ShortTermination,
+)
+from repro.circuits.mna import ACAnalysis
+from repro.circuits.netlist import Circuit
+from repro.pdn.builder import build_circuit
+from repro.pdn.geometry import ConnectionSpec, PDNGeometry, PlaneSpec, PortSpec
+from repro.pdn.termination import TerminationNetwork
+from repro.sparams.network import NetworkData
+from repro.util.linalg import log_spaced_frequencies
+
+_TOTAL_SWITCHING_CURRENT = 1.0  # amperes, as in the paper (Sec. IV)
+
+
+@dataclass
+class PDNTestCase:
+    """Bundle of everything needed to run the paper's experiments."""
+
+    name: str
+    geometry: PDNGeometry
+    circuit: Circuit
+    data: NetworkData
+    termination: TerminationNetwork
+    observe_port: int
+
+    @property
+    def die_ports(self) -> list[int]:
+        return self.geometry.ports_with_role("die")
+
+    @property
+    def decap_ports(self) -> list[int]:
+        return self.geometry.ports_with_role("decap")
+
+    @property
+    def vrm_ports(self) -> list[int]:
+        return self.geometry.ports_with_role("vrm")
+
+    def summary(self) -> str:
+        """Human-readable description of the test case."""
+        g = self.geometry
+        lines = [
+            f"test case {self.name!r}: {len(g.ports)} ports "
+            f"({len(self.die_ports)} die, {len(self.decap_ports)} decap, "
+            f"{len(self.vrm_ports)} VRM)",
+            f"frequency grid: {self.data.n_frequencies} points, "
+            f"{self.data.frequencies[0]:g} Hz - {self.data.frequencies[-1]:g} Hz",
+            f"observation port: {self.observe_port} "
+            f"({g.ports[self.observe_port].name})",
+        ]
+        lines.extend(self.termination.describe())
+        return "\n".join(lines)
+
+
+def _small_geometry() -> PDNGeometry:
+    # Tuned so that a 12-pole common-pole macromodel (the paper's order)
+    # fits the scattering data to ~1e-3 RMS, as in paper Fig. 1.
+    board = PlaneSpec(
+        name="board",
+        nx=6,
+        ny=6,
+        cell_resistance=0.8e-3,
+        cell_inductance=0.20e-9,
+        node_capacitance=30e-12,
+        node_leakage=1e-7,
+        loss_tangent=0.05,
+        skin_corner_hz=2e7,
+    )
+    package = PlaneSpec(
+        name="pkg",
+        nx=4,
+        ny=4,
+        cell_resistance=1.2e-3,
+        cell_inductance=0.035e-9,
+        node_capacitance=1.2e-12,
+        node_leakage=1e-8,
+        loss_tangent=0.05,
+        skin_corner_hz=5e7,
+    )
+    # BGA balls: package corners down to the central board region.
+    balls = [
+        ConnectionSpec("pkg", (0, 0), "board", (2, 2), 3e-3, 0.30e-9),
+        ConnectionSpec("pkg", (3, 0), "board", (3, 2), 3e-3, 0.30e-9),
+        ConnectionSpec("pkg", (0, 3), "board", (2, 3), 3e-3, 0.30e-9),
+        ConnectionSpec("pkg", (3, 3), "board", (3, 3), 3e-3, 0.30e-9),
+        ConnectionSpec("pkg", (1, 1), "board", (2, 2), 4e-3, 0.35e-9),
+        ConnectionSpec("pkg", (2, 2), "board", (3, 3), 4e-3, 0.35e-9),
+    ]
+    ports = [
+        PortSpec("pkg", (1, 1), "die1", role="die"),
+        PortSpec("pkg", (2, 1), "die2", role="die"),
+        PortSpec("pkg", (1, 2), "die3", role="die"),
+        PortSpec("pkg", (2, 2), "die4", role="die"),
+        PortSpec("board", (1, 1), "cap1", role="decap"),
+        PortSpec("board", (4, 2), "cap2", role="decap"),
+        PortSpec("board", (2, 4), "cap3", role="decap"),
+        PortSpec("board", (0, 5), "vrm", role="vrm"),
+        PortSpec("board", (4, 4), "spare", role="open"),
+    ]
+    return PDNGeometry(planes=[board, package], connections=balls, ports=ports)
+
+
+def _large_geometry() -> PDNGeometry:
+    board = PlaneSpec(
+        name="board",
+        nx=12,
+        ny=12,
+        cell_resistance=0.5e-3,
+        cell_inductance=0.28e-9,
+        node_capacitance=40e-12,
+        node_leakage=1e-7,
+        loss_tangent=0.04,
+        skin_corner_hz=2e7,
+    )
+    package = PlaneSpec(
+        name="pkg",
+        nx=6,
+        ny=6,
+        cell_resistance=1.0e-3,
+        cell_inductance=0.030e-9,
+        node_capacitance=1.0e-12,
+        node_leakage=1e-8,
+        loss_tangent=0.04,
+        skin_corner_hz=5e7,
+    )
+    balls = [
+        ConnectionSpec("pkg", (x, y), "board", (5 + x // 3, 5 + y // 3), 3e-3, 0.3e-9)
+        for x in (0, 2, 3, 5)
+        for y in (0, 2, 3, 5)
+    ]
+    die_coords = [(1, 1), (2, 1), (3, 1), (4, 1), (1, 3), (2, 3), (3, 3), (4, 3),
+                  (2, 4), (3, 4)]
+    decap_coords = [(1, 1), (10, 2), (2, 9), (9, 9), (5, 1), (1, 6)]
+    ports = [
+        PortSpec("pkg", coord, f"die{i + 1}", role="die")
+        for i, coord in enumerate(die_coords)
+    ]
+    ports += [
+        PortSpec("board", coord, f"cap{i + 1}", role="decap")
+        for i, coord in enumerate(decap_coords)
+    ]
+    ports.append(PortSpec("board", (0, 11), "vrm", role="vrm"))
+    ports += [
+        PortSpec("board", coord, f"spare{i + 1}", role="open")
+        for i, coord in enumerate([(11, 0), (6, 6), (11, 11)])
+    ]
+    return PDNGeometry(planes=[board, package], connections=balls, ports=ports)
+
+
+def _nominal_termination(geometry: PDNGeometry) -> TerminationNetwork:
+    """Paper Sec. IV nominal scheme: shorted VRM, vendor decaps, die RCs."""
+    decap_menu = [
+        DecouplingCapacitor(capacitance=10e-6, esr=5e-3, esl=2.0e-9),
+        DecouplingCapacitor(capacitance=1e-6, esr=8e-3, esl=1.0e-9),
+        DecouplingCapacitor(capacitance=100e-9, esr=15e-3, esl=0.6e-9),
+    ]
+    terminations: list = []
+    excitations = np.zeros(len(geometry.ports))
+    die_ports = geometry.ports_with_role("die")
+    per_port_current = _TOTAL_SWITCHING_CURRENT / max(len(die_ports), 1)
+    decap_counter = 0
+    for index, port in enumerate(geometry.ports):
+        if port.role == "die":
+            terminations.append(DieBlock(resistance=0.2, capacitance=2e-9))
+            excitations[index] = per_port_current
+        elif port.role == "decap":
+            terminations.append(decap_menu[decap_counter % len(decap_menu)])
+            decap_counter += 1
+        elif port.role == "vrm":
+            terminations.append(ShortTermination(resistance=1e-4))
+        else:
+            terminations.append(OpenTermination())
+    return TerminationNetwork(terminations=terminations, excitations=excitations)
+
+
+def make_paper_testcase(
+    size: str = "small",
+    n_frequencies: int = 201,
+    f_min: float = 1e3,
+    f_max: float = 2e9,
+    include_dc: bool = True,
+    z0: float = 50.0,
+) -> PDNTestCase:
+    """Build the canonical synthetic PDN test case.
+
+    Returns scattering data tabulated exactly like the paper's input
+    ("from 1 kHz to 2 GHz with logarithmic sampling and including the DC
+    point", normalized to R0 = 50 ohm), the nominal termination network,
+    and the observation port (first die port, where the voltage droop is
+    monitored).
+    """
+    if size == "small":
+        geometry = _small_geometry()
+    elif size == "large":
+        geometry = _large_geometry()
+    else:
+        raise ValueError(f"unknown size {size!r}; use 'small' or 'large'")
+
+    circuit = build_circuit(geometry)
+    frequencies = log_spaced_frequencies(
+        f_min, f_max, n_frequencies, include_dc=include_dc
+    )
+    data = ACAnalysis(circuit).scattering(frequencies, z0=z0)
+    termination = _nominal_termination(geometry)
+    observe_port = geometry.ports_with_role("die")[0]
+    return PDNTestCase(
+        name=size,
+        geometry=geometry,
+        circuit=circuit,
+        data=data,
+        termination=termination,
+        observe_port=observe_port,
+    )

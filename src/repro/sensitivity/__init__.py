@@ -1,0 +1,35 @@
+"""The paper's core contribution: target-impedance sensitivity analysis and
+sensitivity-based weighting for fitting and passivity enforcement."""
+
+from repro.sensitivity.zpdn import (
+    loaded_impedance_matrix,
+    target_impedance,
+    target_impedance_of_model,
+)
+from repro.sensitivity.firstorder import (
+    sensitivity_analytic,
+    sensitivity_matrix,
+    sensitivity_monte_carlo,
+)
+from repro.sensitivity.weightmodel import SensitivityWeight, build_weight_model
+from repro.sensitivity.weighted_norm import (
+    per_element_sensitivity_cost,
+    per_element_weighted_cost,
+    sensitivity_weighted_cost,
+    weighted_gramian_block,
+)
+
+__all__ = [
+    "loaded_impedance_matrix",
+    "target_impedance",
+    "target_impedance_of_model",
+    "sensitivity_analytic",
+    "sensitivity_matrix",
+    "sensitivity_monte_carlo",
+    "SensitivityWeight",
+    "build_weight_model",
+    "per_element_sensitivity_cost",
+    "per_element_weighted_cost",
+    "sensitivity_weighted_cost",
+    "weighted_gramian_block",
+]

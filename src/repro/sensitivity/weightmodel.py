@@ -1,0 +1,114 @@
+"""Rational sensitivity macromodel Xi~(s) (paper eqs. 15-17, Fig. 3).
+
+The enforcement cost needs the sensitivity as a *dynamical system*, not as
+frequency samples: a stable SISO model Xi~(s) with
+|Xi~(j omega_k)|^2 ~ Xi_k^2, identified with Magnitude Vector Fitting and
+realized in minimal state-space form.  The paper uses order n_w = 8 and
+deliberately ignores narrow spikes where the underlying responses are
+already accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.statespace.system import StateSpaceModel
+from repro.util.validation import check_frequency_grid
+from repro.vectfit.magnitude import MagnitudeFitResult, fit_magnitude
+
+
+@dataclass(frozen=True)
+class SensitivityWeight:
+    """Sensitivity samples plus their fitted rational weight model.
+
+    Attributes
+    ----------
+    omega:
+        Angular frequency grid of the samples.
+    xi:
+        Sensitivity samples Xi_k (normalized to unit maximum when
+        ``build_weight_model(normalize=True)``, the default).
+    scale:
+        Normalization factor: raw Xi = scale * xi.
+    model:
+        Stable minimum-phase SISO state-space model with
+        |model(j omega_k)| ~ xi_k.
+    fit:
+        Full magnitude-fitting diagnostics.
+    """
+
+    omega: np.ndarray
+    xi: np.ndarray
+    scale: float
+    model: StateSpaceModel
+    fit: MagnitudeFitResult
+
+    def magnitude_response(self, omega: np.ndarray) -> np.ndarray:
+        """|Xi~(j omega)| of the fitted weight model."""
+        return np.abs(self.model.frequency_response(np.asarray(omega))[:, 0, 0])
+
+
+def build_weight_model(
+    omega: np.ndarray,
+    xi: np.ndarray,
+    order: int = 8,
+    *,
+    normalize: bool = True,
+    weighting: str = "relative",
+    band: tuple[float, float] | None = None,
+) -> SensitivityWeight:
+    """Fit a rational weight model to sensitivity samples.
+
+    Parameters
+    ----------
+    omega:
+        Angular frequencies of the samples (rad/s); DC allowed.
+    xi:
+        Non-negative sensitivity samples (from
+        :func:`repro.sensitivity.firstorder.sensitivity_analytic`).
+    order:
+        Order of the weighting subsystem (paper: n_w = 8).
+    normalize:
+        Scale xi to unit maximum before fitting.  The enforcement weighting
+        is scale-invariant, and normalized data keeps the cascade Gramians
+        well conditioned.
+    weighting:
+        Magnitude-fit weighting: "relative" (dB-balanced, default) or
+        "unit".
+    band:
+        Optional (omega_low, omega_high) restriction of the samples used
+        for fitting -- the paper's device for ignoring the 0.5-1 GHz spike
+        ("we did not care of matching the spike").  The returned model is
+        still evaluated/validated on the full grid.
+    """
+    omega = check_frequency_grid(np.asarray(omega, dtype=float))
+    xi = np.asarray(xi, dtype=float)
+    if xi.shape != omega.shape:
+        raise ValueError("xi and omega must have the same shape")
+    if np.any(xi < 0.0):
+        raise ValueError("sensitivity samples must be non-negative")
+    scale = float(np.max(xi))
+    if scale <= 0.0:
+        raise ValueError("sensitivity samples are all zero")
+    normalized = xi / scale if normalize else xi.copy()
+    used_scale = scale if normalize else 1.0
+
+    if band is not None:
+        lo, hi = band
+        mask = (omega >= lo) & (omega <= hi)
+        if mask.sum() < 4 * order:
+            raise ValueError("band restriction leaves too few samples")
+        fit_omega, fit_xi = omega[mask], normalized[mask]
+    else:
+        fit_omega, fit_xi = omega, normalized
+
+    fit = fit_magnitude(fit_omega, fit_xi, n_poles=order, weighting=weighting)
+    return SensitivityWeight(
+        omega=omega,
+        xi=normalized,
+        scale=used_scale,
+        model=fit.model,
+        fit=fit,
+    )

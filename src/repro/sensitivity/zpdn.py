@@ -1,0 +1,81 @@
+"""Loaded PDN impedance computation (paper eq. 2).
+
+Given scattering samples S_k (data or macromodel responses) and the
+generalized Norton termination (Y_L, J) of eq. (1), the loaded impedance
+matrix is
+
+    Z_k = { R0^-1 (I - S_k)(I + S_k)^-1 + Y_L(j omega_k) }^-1
+
+and the *target impedance* is the voltage at the observation port i for
+the nominal current excitation J: Z_PDN,k = (Z_k J)_i.  With a single unit
+excitation at port j this reduces to the paper's element (i, j).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pdn.termination import TerminationNetwork
+from repro.sparams.conversions import s_to_y
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.util.validation import check_square_stack
+
+
+def loaded_impedance_matrix(
+    samples: np.ndarray,
+    omega: np.ndarray,
+    termination: TerminationNetwork,
+    *,
+    z0: float = 50.0,
+) -> np.ndarray:
+    """Loaded impedance stack Z_k of eq. (2); shape (K, P, P)."""
+    samples = check_square_stack(samples, "samples")
+    omega = np.asarray(omega, dtype=float)
+    if samples.shape[0] != omega.size:
+        raise ValueError("samples and omega must agree on K")
+    if samples.shape[1] != termination.n_ports:
+        raise ValueError(
+            f"termination has {termination.n_ports} ports, data has "
+            f"{samples.shape[1]}"
+        )
+    y_block = s_to_y(samples, z0)
+    y_load = termination.admittance_matrices(omega)
+    return np.linalg.inv(y_block + y_load)
+
+
+def target_impedance(
+    samples: np.ndarray,
+    omega: np.ndarray,
+    termination: TerminationNetwork,
+    observe_port: int,
+    *,
+    z0: float = 50.0,
+) -> np.ndarray:
+    """Target impedance trace Z_PDN(j omega_k) = (Z_k J)_i; shape (K,).
+
+    This is the PDN voltage at ``observe_port`` per the nominal switching
+    excitation J (normalized: with ||J||_1 = 1 A the value is in ohms).
+    """
+    z = loaded_impedance_matrix(samples, omega, termination, z0=z0)
+    j = termination.source_vector()
+    if not np.any(j):
+        raise ValueError(
+            "termination network has no current excitation; set excitations"
+        )
+    return z[:, observe_port, :] @ j
+
+
+def target_impedance_of_model(
+    model: PoleResidueModel,
+    omega: np.ndarray,
+    termination: TerminationNetwork,
+    observe_port: int,
+    *,
+    z0: float = 50.0,
+) -> np.ndarray:
+    """Target impedance computed from a macromodel's responses."""
+    omega = np.asarray(omega, dtype=float)
+    samples = model.frequency_response(omega)
+    return target_impedance(
+        samples, omega, termination, observe_port, z0=z0
+    )

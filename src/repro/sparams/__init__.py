@@ -1,0 +1,26 @@
+"""Network-parameter handling: data containers, conversions, Touchstone I/O."""
+
+from repro.sparams.network import NetworkData
+from repro.sparams.conversions import (
+    s_to_y,
+    s_to_z,
+    y_to_s,
+    z_to_s,
+    y_to_z,
+    z_to_y,
+    renormalize_s,
+)
+from repro.sparams.touchstone import read_touchstone, write_touchstone
+
+__all__ = [
+    "NetworkData",
+    "s_to_y",
+    "s_to_z",
+    "y_to_s",
+    "z_to_s",
+    "y_to_z",
+    "z_to_y",
+    "renormalize_s",
+    "read_touchstone",
+    "write_touchstone",
+]

@@ -1,0 +1,119 @@
+"""Conversions between scattering, impedance and admittance representations.
+
+All functions operate on (K, P, P) stacks (vectorized over the frequency
+axis) and assume a real scalar reference resistance ``z0`` identical at all
+ports, matching the paper's setup (R0 = 50 ohm).
+
+The key identity used throughout the paper (eq. 2) is the admittance seen
+from the ports of a scattering block:
+
+    Y = R0^-1 (I - S)(I + S)^-1
+
+and its inverses.  ``(I + S)`` can be close to singular for reflective PDN
+data at low frequency -- this near-singularity is precisely the sensitivity
+mechanism the paper studies -- so these routines solve linear systems rather
+than forming explicit inverses, and raise a descriptive error when a sample
+is numerically singular.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_square_stack
+
+
+def _solve_stack(a: np.ndarray, b: np.ndarray, context: str) -> np.ndarray:
+    """Solve a[k] @ x[k] = b[k] for every k with a helpful failure message."""
+    message = (
+        f"singular matrix while converting network parameters ({context}); "
+        "the data may contain an ideal open/short at some frequency"
+    )
+    try:
+        solution = np.linalg.solve(a, b)
+    except np.linalg.LinAlgError as exc:
+        raise np.linalg.LinAlgError(message) from exc
+    # LAPACK does not always flag exact singularity; catch inf/nan output.
+    if not np.all(np.isfinite(solution)):
+        raise np.linalg.LinAlgError(message)
+    return solution
+
+
+def _identity_like(samples: np.ndarray) -> np.ndarray:
+    ports = samples.shape[-1]
+    return np.broadcast_to(np.eye(ports), samples.shape)
+
+
+def s_to_y(s: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    """Scattering to admittance: ``Y = R0^-1 (I - S)(I + S)^-1``.
+
+    Implemented as the equivalent right-division ``R0^-1 (I+S)^-1 (I-S)``
+    using the fact that (I-S) and (I+S)^-1 commute.
+    """
+    s = check_square_stack(s, "s")
+    eye = _identity_like(s)
+    # (I+S)^T x^T = (I-S)^T  =>  x = (I-S)(I+S)^-1
+    x = _solve_stack(
+        np.transpose(eye + s, (0, 2, 1)), np.transpose(eye - s, (0, 2, 1)), "s_to_y"
+    )
+    return np.transpose(x, (0, 2, 1)) / z0
+
+
+def s_to_z(s: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    """Scattering to impedance: ``Z = R0 (I + S)(I - S)^-1``."""
+    s = check_square_stack(s, "s")
+    eye = _identity_like(s)
+    x = _solve_stack(
+        np.transpose(eye - s, (0, 2, 1)), np.transpose(eye + s, (0, 2, 1)), "s_to_z"
+    )
+    return z0 * np.transpose(x, (0, 2, 1))
+
+
+def y_to_s(y: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    """Admittance to scattering: ``S = (I - R0 Y)(I + R0 Y)^-1``."""
+    y = check_square_stack(y, "y")
+    eye = _identity_like(y)
+    ry = z0 * y
+    x = _solve_stack(
+        np.transpose(eye + ry, (0, 2, 1)), np.transpose(eye - ry, (0, 2, 1)), "y_to_s"
+    )
+    return np.transpose(x, (0, 2, 1))
+
+
+def z_to_s(z: np.ndarray, z0: float = 50.0) -> np.ndarray:
+    """Impedance to scattering: ``S = (Z - R0 I)(Z + R0 I)^-1``."""
+    z = check_square_stack(z, "z")
+    eye = _identity_like(z)
+    x = _solve_stack(
+        np.transpose(z + z0 * eye, (0, 2, 1)),
+        np.transpose(z - z0 * eye, (0, 2, 1)),
+        "z_to_s",
+    )
+    return np.transpose(x, (0, 2, 1))
+
+
+def y_to_z(y: np.ndarray) -> np.ndarray:
+    """Admittance to impedance (matrix inverse per frequency)."""
+    y = check_square_stack(y, "y")
+    return _solve_stack(y, _identity_like(y).copy(), "y_to_z")
+
+
+def z_to_y(z: np.ndarray) -> np.ndarray:
+    """Impedance to admittance (matrix inverse per frequency)."""
+    z = check_square_stack(z, "z")
+    return _solve_stack(z, _identity_like(z).copy(), "z_to_y")
+
+
+def renormalize_s(s: np.ndarray, z0_old: float, z0_new: float) -> np.ndarray:
+    """Renormalize scattering data from reference ``z0_old`` to ``z0_new``.
+
+    Uses the real-reference renormalization
+    ``S' = (I - r I - (I + r I) S)^-1 ... `` specialised to equal resistive
+    references at all ports, implemented via the Z-domain round trip which
+    is numerically adequate for the smooth data handled here.
+    """
+    if z0_old <= 0.0 or z0_new <= 0.0:
+        raise ValueError("reference resistances must be positive")
+    if z0_old == z0_new:
+        return check_square_stack(s, "s").copy()
+    return z_to_s(s_to_z(s, z0_old), z0_new)

@@ -1,0 +1,191 @@
+"""Touchstone (version 1) file reader and writer.
+
+Supports `.sNp` files with RI / MA / DB formats, Hz/kHz/MHz/GHz units, the
+option line, comment lines, and the 4-column-pair wrapping used for
+multiport data.  Only S, Y, Z parameter types are handled, with a single
+real reference resistance, which covers field-solver PDN exports (the
+paper's input data format).
+
+The 2-port convention quirk of Touchstone v1 (data stored as S11 S21 S12
+S22, i.e. column-major) is honoured on both read and write.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.sparams.network import NetworkData
+
+_UNIT_SCALE = {"hz": 1.0, "khz": 1e3, "mhz": 1e6, "ghz": 1e9}
+
+
+def _parse_option_line(line: str) -> tuple[float, str, str, float]:
+    """Parse a ``# <unit> <type> <format> R <z0>`` option line."""
+    tokens = line[1:].split()
+    unit_scale = 1e9  # Touchstone default unit is GHz
+    kind = "s"
+    fmt = "ma"  # Touchstone default format
+    z0 = 50.0
+    i = 0
+    while i < len(tokens):
+        token = tokens[i].lower()
+        if token in _UNIT_SCALE:
+            unit_scale = _UNIT_SCALE[token]
+        elif token in ("s", "y", "z"):
+            kind = token
+        elif token in ("g", "h"):
+            raise ValueError(f"unsupported Touchstone parameter type {token!r}")
+        elif token in ("ri", "ma", "db"):
+            fmt = token
+        elif token == "r":
+            if i + 1 >= len(tokens):
+                raise ValueError("option line 'R' without resistance value")
+            z0 = float(tokens[i + 1])
+            i += 1
+        else:
+            raise ValueError(f"unrecognized token {token!r} in option line")
+        i += 1
+    return unit_scale, kind, fmt, z0
+
+
+def _pairs_to_complex(pairs: np.ndarray, fmt: str) -> np.ndarray:
+    """Convert (N, 2) value pairs to complex numbers according to ``fmt``."""
+    a, b = pairs[:, 0], pairs[:, 1]
+    if fmt == "ri":
+        return a + 1j * b
+    if fmt == "ma":
+        return a * np.exp(1j * np.deg2rad(b))
+    if fmt == "db":
+        return 10.0 ** (a / 20.0) * np.exp(1j * np.deg2rad(b))
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def _complex_to_pairs(values: np.ndarray, fmt: str) -> np.ndarray:
+    """Convert complex array to an (N, 2) pair array according to ``fmt``."""
+    if fmt == "ri":
+        return np.column_stack([values.real, values.imag])
+    if fmt == "ma":
+        return np.column_stack([np.abs(values), np.rad2deg(np.angle(values))])
+    if fmt == "db":
+        magnitude = np.abs(values)
+        with np.errstate(divide="ignore"):
+            db = 20.0 * np.log10(magnitude)
+        db = np.where(magnitude > 0.0, db, -400.0)
+        return np.column_stack([db, np.rad2deg(np.angle(values))])
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def _ports_from_suffix(path: Path) -> int | None:
+    match = re.fullmatch(r"\.s(\d+)p", path.suffix, flags=re.IGNORECASE)
+    if match:
+        return int(match.group(1))
+    return None
+
+
+def read_touchstone(path: str | Path) -> NetworkData:
+    """Read a Touchstone v1 file into a :class:`NetworkData`.
+
+    The port count is taken from the ``.sNp`` suffix when present, otherwise
+    inferred from the number of values per frequency block.
+    """
+    path = Path(path)
+    unit_scale, kind, fmt, z0 = 1e9, "s", "ma", 50.0
+    numbers: list[float] = []
+    saw_option = False
+    with path.open("r", encoding="utf-8", errors="replace") as handle:
+        for raw_line in handle:
+            line = raw_line.split("!", 1)[0].strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if not saw_option:  # per spec, only the first option line counts
+                    unit_scale, kind, fmt, z0 = _parse_option_line(line)
+                    saw_option = True
+                continue
+            if line.startswith("["):  # Touchstone v2 keyword; not supported
+                raise ValueError("Touchstone v2 keywords are not supported")
+            numbers.extend(float(token) for token in line.split())
+
+    if not numbers:
+        raise ValueError(f"no data found in {path}")
+
+    ports = _ports_from_suffix(path)
+    values = np.asarray(numbers)
+    if ports is None:
+        # Each frequency block is 1 + 2*P*P numbers; find the smallest P
+        # that divides the stream evenly.
+        for candidate in range(1, 65):
+            if values.size % (1 + 2 * candidate * candidate) == 0:
+                ports = candidate
+                break
+        else:
+            raise ValueError("could not infer port count from data layout")
+
+    block = 1 + 2 * ports * ports
+    if values.size % block != 0:
+        raise ValueError(
+            f"file size inconsistent with {ports}-port data "
+            f"({values.size} values, block {block})"
+        )
+    values = values.reshape(-1, block)
+    frequencies = values[:, 0] * unit_scale
+    pairs = values[:, 1:].reshape(-1, 2)
+    flat = _pairs_to_complex(pairs, fmt).reshape(-1, ports * ports)
+
+    if ports == 2:
+        # v1 two-port files store S11 S21 S12 S22.
+        samples = flat.reshape(-1, 2, 2).transpose(0, 2, 1)
+    else:
+        samples = flat.reshape(-1, ports, ports)
+
+    order = np.argsort(frequencies)
+    return NetworkData(
+        frequencies=frequencies[order], samples=samples[order], kind=kind, z0=z0
+    )
+
+
+def write_touchstone(
+    data: NetworkData,
+    path: str | Path,
+    *,
+    fmt: str = "ri",
+    unit: str = "hz",
+) -> None:
+    """Write a :class:`NetworkData` to a Touchstone v1 file."""
+    fmt = fmt.lower()
+    unit = unit.lower()
+    if fmt not in ("ri", "ma", "db"):
+        raise ValueError(f"unsupported format {fmt!r}")
+    if unit not in _UNIT_SCALE:
+        raise ValueError(f"unsupported unit {unit!r}")
+    path = Path(path)
+    expected_suffix = f".s{data.n_ports}p"
+    if path.suffix.lower() not in (expected_suffix, ".snp", ".ts"):
+        path = path.with_suffix(expected_suffix)
+
+    scale = _UNIT_SCALE[unit]
+    lines = [
+        f"! {data.n_ports}-port {data.kind.upper()}-parameter data, "
+        f"{data.n_frequencies} points",
+        f"# {unit.upper()} {data.kind.upper()} {fmt.upper()} R {data.z0:g}",
+    ]
+    for k in range(data.n_frequencies):
+        matrix = data.samples[k]
+        if data.n_ports == 2:
+            flat = matrix.T.reshape(-1)  # v1 two-port column-major quirk
+        else:
+            flat = matrix.reshape(-1)
+        pairs = _complex_to_pairs(flat, fmt)
+        row_values: list[str] = [f"{data.frequencies[k] / scale:.12g}"]
+        for real_part, imag_part in pairs:
+            row_values.append(f"{real_part:.12g}")
+            row_values.append(f"{imag_part:.12g}")
+        # Wrap long rows at 8 values per line for readability.
+        head = " ".join(row_values[:9])
+        lines.append(head)
+        for start in range(9, len(row_values), 8):
+            lines.append("  " + " ".join(row_values[start : start + 8]))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")

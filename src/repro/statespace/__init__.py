@@ -1,0 +1,26 @@
+"""State-space machinery: pole-residue models, realizations, Gramians,
+Hamiltonian-based passivity tests."""
+
+from repro.statespace.poleresidue import PoleBlock, PoleResidueModel
+from repro.statespace.system import StateSpaceModel
+from repro.statespace.gramians import (
+    controllability_gramian,
+    observability_gramian,
+)
+from repro.statespace.hamiltonian import (
+    hamiltonian_matrix,
+    imaginary_eigenvalue_frequencies,
+)
+from repro.statespace.serialization import load_model, save_model
+
+__all__ = [
+    "PoleBlock",
+    "PoleResidueModel",
+    "StateSpaceModel",
+    "controllability_gramian",
+    "observability_gramian",
+    "hamiltonian_matrix",
+    "imaginary_eigenvalue_frequencies",
+    "load_model",
+    "save_model",
+]

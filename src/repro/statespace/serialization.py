@@ -1,0 +1,63 @@
+"""Persistence for pole-residue macromodels.
+
+JSON schema (version 1): poles and residues stored as [real, imag] pairs
+so files are portable and diffable; the conjugate-pairing invariants are
+re-validated on load by the :class:`PoleResidueModel` constructor.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.statespace.poleresidue import PoleResidueModel
+
+_FORMAT = "repro.pole-residue"
+_VERSION = 1
+
+
+def _complex_to_pairs(values: np.ndarray) -> list:
+    """Nested lists of [re, im] pairs preserving the array shape."""
+    stacked = np.stack([values.real, values.imag], axis=-1)
+    return stacked.tolist()
+
+
+def _pairs_to_complex(data: list) -> np.ndarray:
+    arr = np.asarray(data, dtype=float)
+    if arr.shape[-1] != 2:
+        raise ValueError("complex entries must be [real, imag] pairs")
+    return arr[..., 0] + 1j * arr[..., 1]
+
+
+def save_model(model: PoleResidueModel, path: str | Path) -> None:
+    """Write a macromodel to a JSON file."""
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "n_poles": model.n_poles,
+        "n_ports": model.n_ports,
+        "poles": _complex_to_pairs(model.poles),
+        "residues": _complex_to_pairs(model.residues),
+        "const": model.const.tolist(),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_model(path: str | Path) -> PoleResidueModel:
+    """Read a macromodel written by :func:`save_model`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"{path}: not a {_FORMAT} file")
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported version {payload.get('version')!r}"
+        )
+    poles = _pairs_to_complex(payload["poles"])
+    residues = _pairs_to_complex(payload["residues"])
+    const = np.asarray(payload["const"], dtype=float)
+    model = PoleResidueModel(poles, residues, const)
+    if model.n_poles != payload["n_poles"] or model.n_ports != payload["n_ports"]:
+        raise ValueError(f"{path}: header counts disagree with stored arrays")
+    return model

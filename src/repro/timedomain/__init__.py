@@ -1,0 +1,19 @@
+"""Time-domain verification substrate.
+
+The paper's motivation for passivity is transient power-integrity
+simulation: a non-passive macromodel can destabilize the circuit solver
+once embedded in its termination network.  This package assembles the
+closed-loop LTI system of a scattering macromodel terminated by the
+nominal Norton network and simulates the voltage-droop response to die
+switching currents.
+"""
+
+from repro.timedomain.lti import ClosedLoopSystem, close_loop
+from repro.timedomain.simulate import TransientResult, simulate_transient
+
+__all__ = [
+    "ClosedLoopSystem",
+    "close_loop",
+    "TransientResult",
+    "simulate_transient",
+]

@@ -1,0 +1,138 @@
+"""Closed-loop interconnection of a scattering macromodel and terminations.
+
+The macromodel is a wave system: x' = A x + B a, b = C x + D a with
+incident/reflected waves a, b referenced to R0.  Port voltage and current
+(into the macromodel) are v = sqrt(R0)(a+b), i = (a-b)/sqrt(R0).  Each
+termination is a one-port admittance state space x_t' = A_t x_t + B_t v,
+i_load = C_t x_t + D_t v, and the Norton sources inject j(t), so KCL gives
+i = j - i_load.  Eliminating the algebraic loop yields an ordinary LTI
+system driven by j(t) with the port voltages as outputs:
+
+    E v = 2 sqrt(R0) C x - R0 (I+D) C_t x_t + R0 (I+D) j ,
+    E = (I - D) + R0 (I + D) D_t .
+
+A passive macromodel terminated by passive loads always yields a stable
+closed loop; a non-passive one may not -- that is precisely the paper's
+motivation for enforcement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pdn.termination import TerminationNetwork
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.statespace.system import StateSpaceModel
+
+
+@dataclass(frozen=True)
+class ClosedLoopSystem:
+    """Closed-loop LTI system x' = A x + B j, v = C x + D j.
+
+    States stack the macromodel states followed by all termination states;
+    inputs are the P Norton source currents; outputs are the P port
+    voltages.
+    """
+
+    system: StateSpaceModel
+    n_model_states: int
+    n_termination_states: int
+
+    def eigenvalues(self) -> np.ndarray:
+        """Closed-loop poles; any Re > 0 means an unstable simulation."""
+        return self.system.poles()
+
+    def is_stable(self, tol: float = 0.0) -> bool:
+        return self.system.is_stable(tol)
+
+    def dc_gain(self) -> np.ndarray:
+        """Static gain v = G j (the DC loaded impedance matrix)."""
+        a, b = self.system.a, self.system.b
+        c, d = self.system.c, self.system.d
+        if a.shape[0] == 0:
+            return d.copy()
+        return d - c @ np.linalg.solve(a, b)
+
+
+def _stack_terminations(
+    termination: TerminationNetwork,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Block-diagonal (A_t, B_t, C_t, D_t) over all ports."""
+    blocks = [term.state_space() for term in termination.terminations]
+    n_total = sum(block[0].shape[0] for block in blocks)
+    p = termination.n_ports
+    a_t = np.zeros((n_total, n_total))
+    b_t = np.zeros((n_total, p))
+    c_t = np.zeros((p, n_total))
+    d_t = np.zeros((p, p))
+    offset = 0
+    for port, (a, b, c, d) in enumerate(blocks):
+        n = a.shape[0]
+        a_t[offset : offset + n, offset : offset + n] = a
+        b_t[offset : offset + n, port] = b[:, 0] if n else 0.0
+        c_t[port, offset : offset + n] = c[0, :] if n else 0.0
+        d_t[port, port] = d
+        offset += n
+    return a_t, b_t, c_t, d_t
+
+
+def close_loop(
+    model: PoleResidueModel | StateSpaceModel,
+    termination: TerminationNetwork,
+    *,
+    z0: float = 50.0,
+) -> ClosedLoopSystem:
+    """Connect a scattering macromodel to its termination network."""
+    if isinstance(model, PoleResidueModel):
+        state_space = model.to_state_space()
+    else:
+        state_space = model
+    p = state_space.n_outputs
+    if state_space.n_inputs != p:
+        raise ValueError("macromodel must be square (P inputs, P outputs)")
+    if termination.n_ports != p:
+        raise ValueError(
+            f"termination has {termination.n_ports} ports, model has {p}"
+        )
+    a, b = state_space.a, state_space.b
+    c, d = state_space.c, state_space.d
+    a_t, b_t, c_t, d_t = _stack_terminations(termination)
+
+    eye = np.eye(p)
+    sqrt_r0 = np.sqrt(z0)
+    e = (eye - d) + z0 * (eye + d) @ d_t
+    try:
+        e_inv = np.linalg.inv(e)
+    except np.linalg.LinAlgError as exc:
+        raise np.linalg.LinAlgError(
+            "algebraic loop is singular; the macromodel/termination "
+            "combination has no unique port solution"
+        ) from exc
+
+    # v = Vx x + Vt x_t + Vj j
+    vx = e_inv @ (2.0 * sqrt_r0 * c)
+    vt = -e_inv @ (z0 * (eye + d) @ c_t)
+    vj = e_inv @ (z0 * (eye + d))
+    # a = (v + R0 i)/(2 sqrt R0),  i = j - C_t x_t - D_t v
+    gain = (eye - z0 * d_t) / (2.0 * sqrt_r0)
+    ax = gain @ vx
+    at = gain @ vt - (z0 / (2.0 * sqrt_r0)) * c_t
+    aj = gain @ vj + (z0 / (2.0 * sqrt_r0)) * eye
+
+    n_m = state_space.n_states
+    n_t = a_t.shape[0]
+    a_cl = np.zeros((n_m + n_t, n_m + n_t))
+    a_cl[:n_m, :n_m] = a + b @ ax
+    a_cl[:n_m, n_m:] = b @ at
+    a_cl[n_m:, :n_m] = b_t @ vx
+    a_cl[n_m:, n_m:] = a_t + b_t @ vt
+    b_cl = np.vstack([b @ aj, b_t @ vj])
+    c_cl = np.hstack([vx, vt])
+    d_cl = vj
+    return ClosedLoopSystem(
+        system=StateSpaceModel(a_cl, b_cl, c_cl, d_cl),
+        n_model_states=n_m,
+        n_termination_states=n_t,
+    )

@@ -1,0 +1,116 @@
+"""Transient simulation of the loaded macromodel.
+
+Exact zero-order-hold discretization (matrix exponential of the augmented
+system) -- the closed-loop PDN dynamics span nanosecond plane resonances
+and microsecond decap time constants, far too stiff for explicit
+integrators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.linalg
+
+from repro.pdn.termination import TerminationNetwork
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.timedomain.lti import ClosedLoopSystem, close_loop
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Sampled transient response.
+
+    ``time`` has shape (n_steps,), ``voltages`` (n_steps, P) holds the
+    port voltages, and ``currents`` (n_steps, P) the injected source
+    currents.
+    """
+
+    time: np.ndarray
+    voltages: np.ndarray
+    currents: np.ndarray
+
+    def droop(self, port: int) -> np.ndarray:
+        """Voltage trace at one port (the PDN droop of the paper's flow)."""
+        return self.voltages[:, port]
+
+
+def _excitation_table(
+    excitation: np.ndarray | Callable[[float], np.ndarray],
+    time: np.ndarray,
+    n_ports: int,
+) -> np.ndarray:
+    if callable(excitation):
+        table = np.stack([np.asarray(excitation(t), dtype=float) for t in time])
+    else:
+        table = np.asarray(excitation, dtype=float)
+        if table.shape == (n_ports,):
+            table = np.broadcast_to(table, (time.size, n_ports)).copy()
+    if table.shape != (time.size, n_ports):
+        raise ValueError(
+            f"excitation table must have shape ({time.size}, {n_ports})"
+        )
+    return table
+
+
+def simulate_transient(
+    model: PoleResidueModel | ClosedLoopSystem,
+    termination: TerminationNetwork | None = None,
+    *,
+    t_end: float,
+    dt: float,
+    excitation: np.ndarray | Callable[[float], np.ndarray] | None = None,
+    z0: float = 50.0,
+) -> TransientResult:
+    """Simulate the loaded macromodel's voltage response.
+
+    Parameters
+    ----------
+    model:
+        A scattering :class:`PoleResidueModel` (terminated on the fly) or a
+        prebuilt :class:`ClosedLoopSystem`.
+    termination:
+        Required when ``model`` is a pole-residue model.
+    t_end, dt:
+        Simulation horizon and fixed step (ZOH-exact discretization).
+    excitation:
+        Source currents: a (P,) constant vector (step excitation, default:
+        the termination's nominal J as a step), an (n_steps, P) table, or a
+        callable t -> (P,).
+    """
+    if isinstance(model, ClosedLoopSystem):
+        loop = model
+    else:
+        if termination is None:
+            raise ValueError("termination is required for a pole-residue model")
+        loop = close_loop(model, termination, z0=z0)
+    system = loop.system
+    p = system.n_inputs
+    if t_end <= 0.0 or dt <= 0.0 or dt > t_end:
+        raise ValueError("need 0 < dt <= t_end")
+
+    time = np.arange(0.0, t_end + 0.5 * dt, dt)
+    if excitation is None:
+        if termination is None:
+            raise ValueError("excitation required when termination is absent")
+        excitation = termination.source_vector()
+    currents = _excitation_table(excitation, time, p)
+
+    n = system.n_states
+    # ZOH discretization via the augmented exponential.
+    augmented = np.zeros((n + p, n + p))
+    augmented[:n, :n] = system.a * dt
+    augmented[:n, n:] = system.b * dt
+    phi = scipy.linalg.expm(augmented)
+    a_d = phi[:n, :n]
+    b_d = phi[:n, n:]
+
+    states = np.zeros(n)
+    voltages = np.empty((time.size, p))
+    for step in range(time.size):
+        voltages[step] = system.c @ states + system.d @ currents[step]
+        if step + 1 < time.size:
+            states = a_d @ states + b_d @ currents[step]
+    return TransientResult(time=time, voltages=voltages, currents=currents)

@@ -1,0 +1,29 @@
+"""Shared utilities: linear algebra helpers, validation, logging."""
+
+from repro.util.linalg import (
+    hermitian_part,
+    is_stable_poles,
+    log_spaced_frequencies,
+    solve_hermitian_psd,
+    vec_columns,
+    unvec_columns,
+)
+from repro.util.validation import (
+    check_finite,
+    check_frequency_grid,
+    check_square_stack,
+    ShapeError,
+)
+
+__all__ = [
+    "hermitian_part",
+    "is_stable_poles",
+    "log_spaced_frequencies",
+    "solve_hermitian_psd",
+    "vec_columns",
+    "unvec_columns",
+    "check_finite",
+    "check_frequency_grid",
+    "check_square_stack",
+    "ShapeError",
+]

@@ -1,0 +1,34 @@
+"""Package-wide logging configuration.
+
+All algorithmic modules log through ``get_logger(__name__)`` so that library
+users can control verbosity with the standard :mod:`logging` machinery;
+nothing is printed by default.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger of the package root for module ``name``."""
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple console handler to the package root logger.
+
+    Convenience for examples and benchmarks; safe to call repeatedly.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)

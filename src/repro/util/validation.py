@@ -1,0 +1,43 @@
+"""Input validation helpers with descriptive error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ShapeError(ValueError):
+    """Raised when an array argument has an incompatible shape."""
+
+
+def check_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Return ``array`` as ndarray, raising if it contains NaN/Inf."""
+    array = np.asarray(array)
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return array
+
+
+def check_frequency_grid(frequencies: np.ndarray) -> np.ndarray:
+    """Validate a frequency grid: 1-D, real, non-negative, strictly increasing."""
+    frequencies = np.asarray(frequencies, dtype=float)
+    if frequencies.ndim != 1:
+        raise ShapeError("frequency grid must be one-dimensional")
+    if frequencies.size == 0:
+        raise ShapeError("frequency grid is empty")
+    if np.any(frequencies < 0.0):
+        raise ValueError("frequencies must be non-negative")
+    if np.any(np.diff(frequencies) <= 0.0):
+        raise ValueError("frequencies must be strictly increasing")
+    return frequencies
+
+
+def check_square_stack(samples: np.ndarray, name: str) -> np.ndarray:
+    """Validate a (K, P, P) stack of square matrices, return as complex array."""
+    samples = np.asarray(samples)
+    if samples.ndim != 3:
+        raise ShapeError(f"{name} must have shape (K, P, P), got {samples.shape}")
+    if samples.shape[1] != samples.shape[2]:
+        raise ShapeError(
+            f"{name} matrices must be square, got {samples.shape[1]}x{samples.shape[2]}"
+        )
+    return samples.astype(complex, copy=False)

@@ -1,0 +1,30 @@
+"""Vector Fitting: rational approximation of tabulated frequency responses.
+
+Implements the weighted, relaxed vector-fitting algorithm (refs. [8]-[12]
+of the paper) used to extract the pole-residue macromodel of eq. (3) by
+minimizing the (optionally weighted) error metric of eqs. (4)/(6), plus the
+Magnitude Vector Fitting variant (refs. [24]-[25]) used to build the
+minimum-phase sensitivity weighting subsystem of eq. (17).
+"""
+
+from repro.vectfit.options import VFOptions
+from repro.vectfit.starting_poles import initial_poles
+from repro.vectfit.core import VFResult, vector_fit
+from repro.vectfit.magnitude import MagnitudeFitResult, fit_magnitude
+from repro.vectfit.order_selection import (
+    OrderCandidate,
+    OrderSelectionResult,
+    select_model_order,
+)
+
+__all__ = [
+    "VFOptions",
+    "initial_poles",
+    "VFResult",
+    "vector_fit",
+    "MagnitudeFitResult",
+    "fit_magnitude",
+    "OrderCandidate",
+    "OrderSelectionResult",
+    "select_model_order",
+]

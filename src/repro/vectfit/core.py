@@ -1,0 +1,473 @@
+"""Weighted relaxed Vector Fitting (paper refs. [8]-[12]).
+
+Identifies the pole-residue macromodel of paper eq. (3)
+
+    S(s) = sum_n R_n / (s - p_n) + D
+
+from samples S_k on a frequency grid by minimizing the weighted error
+metric of eq. (6)
+
+    E_w^2 = sum_k w_k^2 || S(j omega_k) - S_k ||_F^2 .
+
+The implementation follows the classical two-step scheme: a pole-relocation
+("sigma") iteration with the relaxed non-triviality constraint of
+Gustavsen (2006), using the per-response QR compression of Deschrijver et
+al. (2008) so all matrix entries share a common pole set at modest cost,
+followed by a weighted linear least-squares residue identification.
+
+Real-coefficient bases are used throughout: a real pole contributes the
+basis function 1/(s-p); a conjugate pair (p, conj p) contributes
+1/(s-p) + 1/(s-conj p) and j/(s-p) - j/(s-conj p), so all least-squares
+unknowns are real and the fitted model is exactly conjugate-symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.statespace.poleresidue import PoleResidueModel, _analyse_pole_structure
+from repro.util.logging import get_logger
+from repro.util.validation import check_frequency_grid, check_square_stack
+from repro.vectfit.options import VFOptions
+from repro.vectfit.starting_poles import initial_poles
+
+_LOG = get_logger(__name__)
+
+
+# ----------------------------------------------------------------------
+# Pole bookkeeping
+# ----------------------------------------------------------------------
+def canonicalize_poles(raw: np.ndarray, *, imag_tol: float = 1e-8) -> np.ndarray:
+    """Normalize a raw pole set into pair-grouped canonical form.
+
+    Eigenvalues of real matrices arrive as unordered conjugate pairs with
+    roundoff asymmetry; this groups them as (real poles..., pairs with the
+    +imag member first followed by its exact conjugate), sorted by
+    magnitude so successive iterations are comparable.
+    """
+    raw = np.asarray(raw, dtype=complex)
+    reals: list[float] = []
+    positives: list[complex] = []
+    negatives: list[complex] = []
+    for pole in raw:
+        if abs(pole.imag) <= imag_tol * max(abs(pole), 1e-300):
+            reals.append(pole.real)
+        elif pole.imag > 0.0:
+            positives.append(pole)
+        else:
+            negatives.append(pole)
+    # Pair each +imag pole with its nearest conjugate candidate; leftovers
+    # (numerically unpaired) are demoted to real poles.
+    unmatched = list(negatives)
+    pairs: list[complex] = []
+    for pole in positives:
+        if unmatched:
+            distances = [abs(np.conj(pole) - q) for q in unmatched]
+            best = int(np.argmin(distances))
+            unmatched.pop(best)
+            pairs.append(pole)
+        else:
+            reals.append(pole.real)
+    for pole in unmatched:
+        reals.append(pole.real)
+
+    reals.sort(key=abs)
+    pairs.sort(key=abs)
+    out: list[complex] = [complex(r, 0.0) for r in reals]
+    for pole in pairs:
+        out.append(pole)
+        out.append(np.conj(pole))
+    return np.asarray(out, dtype=complex)
+
+
+def flip_unstable_poles(poles: np.ndarray, *, floor: float = 0.0) -> np.ndarray:
+    """Reflect right-half-plane poles into the LHP (standard VF safeguard)."""
+    poles = np.asarray(poles, dtype=complex).copy()
+    for n, pole in enumerate(poles):
+        re = pole.real
+        if re > 0.0:
+            re = -re
+        if re == 0.0:
+            re = -max(abs(pole) * 1e-6, floor)
+        poles[n] = complex(re, pole.imag)
+    return poles
+
+
+def _basis(omega: np.ndarray, poles: np.ndarray) -> np.ndarray:
+    """Real-coefficient partial-fraction basis, shape (K, N) complex."""
+    blocks = _analyse_pole_structure(poles, 1e-9)
+    s = 1j * omega
+    phi = np.empty((omega.size, poles.size), dtype=complex)
+    for block in blocks:
+        pole = poles[block.index]
+        if block.kind == "real":
+            phi[:, block.offset] = 1.0 / (s - pole.real)
+        else:
+            f_pos = 1.0 / (s - pole)
+            f_neg = 1.0 / (s - np.conj(pole))
+            phi[:, block.offset] = f_pos + f_neg
+            phi[:, block.offset + 1] = 1j * (f_pos - f_neg)
+    return phi
+
+
+def _sigma_dynamics(poles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Real (A, b) of the sigma rational function for the zero computation."""
+    blocks = _analyse_pole_structure(poles, 1e-9)
+    n = poles.size
+    a = np.zeros((n, n))
+    b = np.zeros(n)
+    for block in blocks:
+        pole = poles[block.index]
+        if block.kind == "real":
+            a[block.offset, block.offset] = pole.real
+            b[block.offset] = 1.0
+        else:
+            a[block.offset, block.offset] = pole.real
+            a[block.offset, block.offset + 1] = pole.imag
+            a[block.offset + 1, block.offset] = -pole.imag
+            a[block.offset + 1, block.offset + 1] = pole.real
+            b[block.offset] = 2.0
+    return a, b
+
+
+def _coefficients_to_residues(
+    poles: np.ndarray, coefficients: np.ndarray
+) -> np.ndarray:
+    """Map real basis coefficients (M, N) to complex residues (M, N)."""
+    blocks = _analyse_pole_structure(poles, 1e-9)
+    m = coefficients.shape[0]
+    residues = np.zeros((m, poles.size), dtype=complex)
+    for block in blocks:
+        if block.kind == "real":
+            residues[:, block.index] = coefficients[:, block.offset]
+        else:
+            value = (
+                coefficients[:, block.offset]
+                + 1j * coefficients[:, block.offset + 1]
+            )
+            residues[:, block.index] = value
+            residues[:, block.index + 1] = np.conj(value)
+    return residues
+
+
+def _realify(matrix: np.ndarray) -> np.ndarray:
+    """Stack real and imaginary parts of rows: (K, n) complex -> (2K, n) real."""
+    return np.vstack([matrix.real, matrix.imag])
+
+
+def _scaled_lstsq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Least squares with column equilibration.
+
+    Partial-fraction bases spanning many frequency decades have column
+    norms differing by ~1e9, which caps the attainable LS accuracy at
+    cond * eps ~ 1e-4 -- fatal for sensitivity weighting, which needs the
+    low-frequency residual driven far below that.  Normalizing columns to
+    unit norm reduces the condition number to O(10) here.
+    """
+    norms = np.linalg.norm(a, axis=0)
+    norms = np.where(norms > 0.0, norms, 1.0)
+    solution, *_ = np.linalg.lstsq(a / norms, b, rcond=None)
+    return solution / norms
+
+
+# ----------------------------------------------------------------------
+# Main algorithm
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VFResult:
+    """Outcome of a vector-fitting run.
+
+    Attributes
+    ----------
+    model:
+        Fitted pole-residue macromodel.
+    rms_error:
+        Unweighted RMS error over all entries and frequencies (eq. 4 scale).
+    weighted_rms_error:
+        Weighted RMS error actually minimized (eq. 6 scale).
+    iterations:
+        Pole-relocation iterations performed.
+    converged:
+        Whether the pole set converged before the iteration cap.
+    pole_history:
+        Per-iteration pole sets (including the final one).
+    """
+
+    model: PoleResidueModel
+    rms_error: float
+    weighted_rms_error: float
+    iterations: int
+    converged: bool
+    pole_history: list = field(default_factory=list, repr=False)
+
+
+def _normalize_weights(
+    weights: np.ndarray | None, shape_kpp: tuple[int, int, int]
+) -> np.ndarray:
+    """Broadcast user weights to per-entry (K, P*P) positive weights."""
+    k, p, _ = shape_kpp
+    if weights is None:
+        return np.ones((k, p * p))
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights < 0.0) or not np.all(np.isfinite(weights)):
+        raise ValueError("weights must be finite and non-negative")
+    if weights.shape == (k,):
+        return np.repeat(weights[:, None], p * p, axis=1)
+    if weights.shape == (k, p, p):
+        return weights.reshape(k, p * p)
+    raise ValueError(
+        f"weights must have shape ({k},) or ({k},{p},{p}), got {weights.shape}"
+    )
+
+
+def _relocate(
+    omega: np.ndarray,
+    responses: np.ndarray,
+    weights: np.ndarray,
+    poles: np.ndarray,
+    options: VFOptions,
+) -> np.ndarray:
+    """One pole-relocation step; returns the new canonical pole set."""
+    k, m = responses.shape
+    n = poles.size
+    phi = _basis(omega, poles)
+    cols_model = n + (1 if options.fit_const else 0)
+    cols_sigma = n + (1 if options.relaxed else 0)
+
+    # Shared column equilibration: the sigma columns must be scaled
+    # identically across responses (they are pooled), and equilibration is
+    # what keeps the 7-decade basis solvable to ~1e-8 instead of ~1e-4.
+    phi_scale = np.linalg.norm(_realify(phi), axis=0)
+    phi_scale = np.where(phi_scale > 0.0, phi_scale, 1.0)
+    sigma_scale = np.empty(cols_sigma)
+    sigma_scale[:n] = phi_scale
+    if options.relaxed:
+        sigma_scale[n] = np.sqrt(float(k))
+
+    pooled_rows: list[np.ndarray] = []
+    pooled_rhs: list[np.ndarray] = []
+    for col in range(m):
+        w = weights[:, col]
+        h = responses[:, col]
+        block = np.empty((k, cols_model + cols_sigma), dtype=complex)
+        block[:, :n] = (phi / phi_scale[None, :]) * w[:, None]
+        if options.fit_const:
+            block[:, n] = w
+        block[:, cols_model : cols_model + n] = (
+            -(h * w)[:, None] * phi / phi_scale[None, :]
+        )
+        if options.relaxed:
+            block[:, cols_model + n] = -(h * w) / sigma_scale[n]
+            rhs = np.zeros(k, dtype=complex)
+        else:
+            rhs = h * w
+        a_real = _realify(block)
+        rhs_real = _realify(rhs.reshape(-1, 1))[:, 0]
+        # QR-compress: only the rows coupling to the shared sigma unknowns
+        # survive into the pooled system.
+        q, r = np.linalg.qr(np.column_stack([a_real, rhs_real]))
+        r_sigma = r[cols_model : cols_model + cols_sigma, cols_model:-1]
+        rhs_sigma = r[cols_model : cols_model + cols_sigma, -1]
+        pooled_rows.append(r_sigma)
+        pooled_rhs.append(rhs_sigma)
+
+    g = np.vstack(pooled_rows)
+    rhs = np.concatenate(pooled_rhs)
+    if options.relaxed:
+        # Non-triviality: sum_k Re sigma(j omega_k) = K, weighted to the
+        # scale of the data so it neither dominates nor vanishes.
+        scale = float(np.linalg.norm(weights * np.abs(responses))) / max(k, 1)
+        row = np.empty(cols_sigma)
+        row[:n] = np.sum(phi.real, axis=0) / phi_scale
+        row[n] = k / sigma_scale[n]
+        g = np.vstack([g, scale * row])
+        rhs = np.concatenate([rhs, [scale * k]])
+
+    solution, *_ = np.linalg.lstsq(g, rhs, rcond=None)
+    solution = solution / sigma_scale
+    if options.relaxed:
+        c_sigma, d_sigma = solution[:n], float(solution[n])
+        if abs(d_sigma) < options.min_sigma_d:
+            d_sigma = options.min_sigma_d if d_sigma >= 0.0 else -options.min_sigma_d
+    else:
+        c_sigma, d_sigma = solution[:n], 1.0
+
+    a_sig, b_sig = _sigma_dynamics(poles)
+    zeros = np.linalg.eigvals(a_sig - np.outer(b_sig, c_sigma) / d_sigma)
+    if options.stable:
+        positive = omega[omega > 0.0]
+        floor = float(positive.min()) * 1e-6 if positive.size else 1e-6
+        zeros = flip_unstable_poles(zeros, floor=floor)
+    return canonicalize_poles(zeros)
+
+
+def _identify_residues(
+    omega: np.ndarray,
+    responses: np.ndarray,
+    weights: np.ndarray,
+    poles: np.ndarray,
+    options: VFOptions,
+    fixed_const: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Final weighted LS for residues and constant term.
+
+    With ``fixed_const`` (length M), the constant term is pinned (used by
+    the asymptotic-passivity projection) and only residues are solved.
+    With ``options.dc_exact`` the DC sample is interpolated exactly by
+    eliminating the constant: fit the shifted data on the shifted basis
+    phi(omega) - phi(0), then back out d = S(0) - sum c_n phi_n(0).
+    Returns (residues (M, N) complex, const (M,) real).
+    """
+    k, m = responses.shape
+    n = poles.size
+    phi = _basis(omega, poles)
+    dc_exact = options.dc_exact and fixed_const is None
+    if dc_exact:
+        if omega[0] != 0.0:
+            raise ValueError("dc_exact requires a DC sample (omega[0] == 0)")
+        phi_dc = phi[0].real  # basis at s = 0 is real by construction
+        dc_values = responses[0].real
+    solve_const = options.fit_const and fixed_const is None and not dc_exact
+    cols = n + (1 if solve_const else 0)
+    coefficients = np.empty((m, n))
+    const = np.zeros(m) if fixed_const is None else np.asarray(fixed_const, float)
+    for col in range(m):
+        w = weights[:, col]
+        block = np.empty((k, cols), dtype=complex)
+        if dc_exact:
+            block[:, :n] = (phi - phi_dc[None, :]) * w[:, None]
+            target = responses[:, col] - dc_values[col]
+        else:
+            block[:, :n] = phi * w[:, None]
+            target = responses[:, col]
+            if fixed_const is not None:
+                target = target - const[col]
+        if solve_const:
+            block[:, n] = w
+        a_real = _realify(block)
+        rhs_real = _realify((target * w).reshape(-1, 1))[:, 0]
+        solution = _scaled_lstsq(a_real, rhs_real)
+        coefficients[col] = solution[:n]
+        if solve_const:
+            const[col] = solution[n]
+        elif dc_exact:
+            const[col] = dc_values[col] - float(phi_dc @ solution[:n])
+    residues = _coefficients_to_residues(poles, coefficients)
+    return residues, const
+
+
+def _pole_change(old: np.ndarray, new: np.ndarray) -> float:
+    """Relative movement between two canonical pole sets."""
+    if old.size != new.size:
+        return np.inf
+    order_old = np.lexsort((old.imag, old.real, np.abs(old)))
+    order_new = np.lexsort((new.imag, new.real, np.abs(new)))
+    diff = np.abs(old[order_old] - new[order_new])
+    scale = np.maximum(np.abs(old[order_old]), 1e-30)
+    return float(np.max(diff / scale))
+
+
+def vector_fit(
+    omega: np.ndarray,
+    samples: np.ndarray,
+    weights: np.ndarray | None = None,
+    options: VFOptions | None = None,
+) -> VFResult:
+    """Fit a common-pole matrix pole-residue model to sampled data.
+
+    Parameters
+    ----------
+    omega:
+        Angular frequency grid (rad/s), strictly increasing, may include 0.
+    samples:
+        Complex data stack, shape (K, P, P).
+    weights:
+        Optional least-squares weights: per-frequency shape (K,) -- the
+        paper's sensitivity weights w_k = Xi_k -- or per-entry (K, P, P).
+    options:
+        Algorithm options; defaults to :class:`VFOptions()`.
+    """
+    options = options or VFOptions()
+    omega = check_frequency_grid(np.asarray(omega, dtype=float))
+    samples = check_square_stack(samples, "samples")
+    if samples.shape[0] != omega.size:
+        raise ValueError("samples and omega must agree on K")
+    k, p, _ = samples.shape
+    if omega[omega > 0.0].size < 2:
+        raise ValueError("need at least two positive frequencies")
+    if options.n_poles >= 2 * k:
+        raise ValueError(
+            f"model order {options.n_poles} too high for {k} frequency samples"
+        )
+
+    responses = samples.reshape(k, p * p)
+    weight_table = _normalize_weights(weights, samples.shape)
+
+    if options.initial_poles is not None:
+        poles = canonicalize_poles(np.asarray(options.initial_poles, dtype=complex))
+        if poles.size != options.n_poles:
+            raise ValueError(
+                f"initial_poles has {poles.size} poles, options request "
+                f"{options.n_poles}"
+            )
+    else:
+        poles = initial_poles(omega, options.n_poles)
+
+    history = [poles.copy()]
+    converged = False
+    iterations = 0
+    for iteration in range(options.n_iterations):
+        new_poles = _relocate(omega, responses, weight_table, poles, options)
+        change = _pole_change(poles, new_poles)
+        poles = new_poles
+        history.append(poles.copy())
+        iterations = iteration + 1
+        if change < options.pole_convergence_tol:
+            converged = True
+            break
+    _LOG.debug("vector_fit: %d iterations, converged=%s", iterations, converged)
+
+    residues, const_flat = _identify_residues(
+        omega, responses, weight_table, poles, options
+    )
+    const = const_flat.reshape(p, p)
+    margin = options.asymptotic_passivity_margin
+    if options.fit_const and margin > 0.0 and not options.dc_exact:
+        u, sigma, vh = np.linalg.svd(const)
+        limit = 1.0 - margin
+        if sigma[0] > limit:
+            # Band-limited data leaves D unconstrained above the last
+            # sample; clip its gain and refit the residues around it.
+            const = u @ np.diag(np.minimum(sigma, limit)) @ vh
+            _LOG.debug(
+                "vector_fit: projected sigma_max(D) from %.6f to %.6f",
+                sigma[0],
+                limit,
+            )
+            residues, const_flat = _identify_residues(
+                omega,
+                responses,
+                weight_table,
+                poles,
+                options,
+                fixed_const=const.reshape(-1),
+            )
+            const = const_flat.reshape(p, p)
+    residue_matrices = residues.T.reshape(poles.size, p, p)
+    model = PoleResidueModel(poles, residue_matrices, const)
+
+    fit = model.frequency_response(omega)
+    diff = fit - samples
+    rms = float(np.sqrt(np.mean(np.abs(diff) ** 2)))
+    wdiff = weight_table.reshape(k, p, p) * diff
+    wrms = float(np.sqrt(np.mean(np.abs(wdiff) ** 2)))
+    return VFResult(
+        model=model,
+        rms_error=rms,
+        weighted_rms_error=wrms,
+        iterations=iterations,
+        converged=converged,
+        pole_history=history,
+    )

@@ -1,0 +1,122 @@
+"""Automatic model-order selection for vector fitting.
+
+The paper picks n = 12 by expertise; this module automates the choice:
+fit with increasing order until the (weighted) RMS error drops below a
+target, or until the error stops improving -- the standard incremental
+strategy of production macromodeling tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.logging import get_logger
+from repro.vectfit.core import VFResult, vector_fit
+from repro.vectfit.options import VFOptions
+
+_LOG = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class OrderCandidate:
+    """One explored model order."""
+
+    n_poles: int
+    rms_error: float
+    weighted_rms_error: float
+    converged: bool
+
+
+@dataclass(frozen=True)
+class OrderSelectionResult:
+    """Outcome of the order sweep.
+
+    ``best`` is the selected fit; ``candidates`` records every explored
+    order for reporting (derived Table E).
+    """
+
+    best: VFResult
+    candidates: list[OrderCandidate] = field(repr=False)
+
+    @property
+    def selected_order(self) -> int:
+        return self.best.model.n_poles
+
+
+def select_model_order(
+    omega: np.ndarray,
+    samples: np.ndarray,
+    weights: np.ndarray | None = None,
+    *,
+    orders: list[int] | None = None,
+    target_rms: float = 1e-4,
+    stagnation_ratio: float = 0.7,
+    base_options: VFOptions | None = None,
+) -> OrderSelectionResult:
+    """Sweep model orders until the fit reaches ``target_rms``.
+
+    Parameters
+    ----------
+    omega, samples, weights:
+        As for :func:`repro.vectfit.core.vector_fit`.
+    orders:
+        Candidate orders, ascending; default 4, 6, ..., 24.
+    target_rms:
+        Stop as soon as the unweighted RMS error falls below this.
+    stagnation_ratio:
+        Also stop when an order improves the error by less than this
+        factor versus the previous order (diminishing returns), keeping
+        the *previous* (smaller) model in that case.  0 disables the
+        stagnation stop (the sweep explores every order).
+    base_options:
+        Template options; ``n_poles`` is overridden per candidate.
+    """
+    if orders is None:
+        orders = list(range(4, 25, 2))
+    if not orders or sorted(orders) != list(orders):
+        raise ValueError("orders must be a non-empty ascending list")
+    if target_rms <= 0.0:
+        raise ValueError("target_rms must be positive")
+    base = base_options or VFOptions()
+
+    candidates: list[OrderCandidate] = []
+    best: VFResult | None = None
+    previous_error = np.inf
+    for order in orders:
+        options = VFOptions(
+            n_poles=order,
+            n_iterations=base.n_iterations,
+            stable=base.stable,
+            relaxed=base.relaxed,
+            fit_const=base.fit_const,
+            pole_convergence_tol=base.pole_convergence_tol,
+            min_sigma_d=base.min_sigma_d,
+            asymptotic_passivity_margin=base.asymptotic_passivity_margin,
+        )
+        result = vector_fit(omega, samples, weights, options)
+        candidates.append(
+            OrderCandidate(
+                n_poles=order,
+                rms_error=result.rms_error,
+                weighted_rms_error=result.weighted_rms_error,
+                converged=result.converged,
+            )
+        )
+        _LOG.info("order %d: rms %.3e", order, result.rms_error)
+        if result.rms_error <= target_rms:
+            best = result
+            break
+        if (
+            best is not None
+            and stagnation_ratio > 0.0
+            and result.rms_error > stagnation_ratio * previous_error
+        ):
+            # Diminishing returns: keep the smaller model.
+            break
+        best = result
+        previous_error = result.rms_error
+
+    assert best is not None  # orders is non-empty
+    return OrderSelectionResult(best=best, candidates=candidates)

@@ -1,0 +1,59 @@
+"""Starting-pole heuristics for vector fitting.
+
+The classical recipe: complex-conjugate pairs with imaginary parts spread
+logarithmically over the data band and small negative real parts
+(Re = -Im/100), which keeps the initial least-squares problems well
+conditioned on smooth data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def initial_poles(
+    omega: np.ndarray,
+    n_poles: int,
+    *,
+    real_ratio: float = 0.01,
+    spacing: str = "log",
+) -> np.ndarray:
+    """Generate ``n_poles`` pair-grouped starting poles for the band of ``omega``.
+
+    Parameters
+    ----------
+    omega:
+        Angular frequency samples (rad/s); only min/max of the positive part
+        are used.  A DC point is ignored for band selection.
+    n_poles:
+        Total pole count; if odd, one real pole at the geometric band centre
+        is added.
+    real_ratio:
+        Ratio -Re(p)/Im(p) of the complex starting poles.
+    spacing:
+        "log" (default) or "linear" distribution of imaginary parts.
+    """
+    omega = np.asarray(omega, dtype=float)
+    positive = omega[omega > 0.0]
+    if positive.size < 2:
+        raise ValueError("need at least two positive frequencies")
+    w_low, w_high = float(positive.min()), float(positive.max())
+    if n_poles < 1:
+        raise ValueError("n_poles must be at least 1")
+
+    n_pairs = n_poles // 2
+    poles: list[complex] = []
+    if n_pairs > 0:
+        if spacing == "log":
+            betas = np.logspace(np.log10(w_low), np.log10(w_high), n_pairs)
+        elif spacing == "linear":
+            betas = np.linspace(w_low, w_high, n_pairs)
+        else:
+            raise ValueError(f"unknown spacing {spacing!r}")
+        for beta in betas:
+            pole = complex(-real_ratio * beta, beta)
+            poles.append(pole)
+            poles.append(pole.conjugate())
+    if n_poles % 2 == 1:
+        poles.append(complex(-np.sqrt(w_low * w_high), 0.0))
+    return np.asarray(poles, dtype=complex)

@@ -1,0 +1,110 @@
+"""Termination components: frequency response vs state-space consistency."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.components import (
+    DecouplingCapacitor,
+    DieBlock,
+    OpenTermination,
+    ResistiveTermination,
+    ShortTermination,
+    VRMModel,
+)
+from repro.statespace.system import StateSpaceModel
+
+ALL_COMPONENTS = [
+    OpenTermination(),
+    ResistiveTermination(resistance=25.0),
+    ShortTermination(resistance=1e-4),
+    VRMModel(resistance=1e-3, inductance=1e-10),
+    DecouplingCapacitor(capacitance=1e-6, esr=5e-3, esl=1e-9),
+    DieBlock(resistance=0.2, capacitance=2e-9),
+]
+
+
+@pytest.mark.parametrize("component", ALL_COMPONENTS, ids=lambda c: type(c).__name__)
+class TestStateSpaceConsistency:
+    """The state-space realization must reproduce admittance(omega)."""
+
+    def test_response_matches_admittance(self, component):
+        a, b, c, d = component.state_space()
+        system = StateSpaceModel(a, b, c, np.array([[d]]))
+        omega = np.geomspace(1e3, 1e10, 25)
+        y_ss = system.frequency_response(omega)[:, 0, 0]
+        y_direct = component.admittance(omega)
+        assert np.allclose(y_ss, y_direct, rtol=1e-9, atol=1e-12)
+
+    def test_stable_realization(self, component):
+        a, b, c, d = component.state_space()
+        system = StateSpaceModel(a, b, c, np.array([[d]]))
+        assert system.is_stable(tol=1e-9)
+
+    def test_positive_real_admittance(self, component):
+        """Passive one-ports: Re Y(j omega) >= 0 everywhere."""
+        omega = np.geomspace(1e2, 1e10, 40)
+        assert np.all(component.admittance(omega).real >= -1e-15)
+
+    def test_describe_nonempty(self, component):
+        assert component.describe()
+
+
+class TestOpenTermination:
+    def test_zero_admittance(self):
+        t = OpenTermination()
+        assert np.allclose(t.admittance(np.array([0.0, 1e9])), 0.0)
+
+    def test_empty_states(self):
+        a, b, c, d = t = OpenTermination().state_space()
+        assert a.shape == (0, 0)
+        assert d == 0.0
+
+
+class TestDecouplingCapacitor:
+    def test_resonance_frequency(self):
+        cap = DecouplingCapacitor(capacitance=1e-6, esr=5e-3, esl=1e-9)
+        w0 = 2 * np.pi * cap.resonance_hz
+        y = cap.admittance(np.array([w0]))[0]
+        # At series resonance the admittance is 1/ESR (purely real).
+        assert np.isclose(abs(y), 1.0 / 5e-3, rtol=1e-6)
+
+    def test_dc_blocks(self):
+        cap = DecouplingCapacitor()
+        assert cap.admittance(np.array([0.0]))[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecouplingCapacitor(capacitance=-1e-6)
+        with pytest.raises(ValueError):
+            DecouplingCapacitor(esr=0.0)
+
+
+class TestDieBlock:
+    def test_dc_blocks(self):
+        die = DieBlock()
+        assert die.admittance(np.array([0.0]))[0] == 0.0
+
+    def test_high_frequency_resistive(self):
+        die = DieBlock(resistance=0.5, capacitance=1e-9)
+        y = die.admittance(np.array([1e12]))[0]
+        assert np.isclose(y.real, 2.0, rtol=1e-3)
+
+
+class TestVRMModel:
+    def test_dc_resistive(self):
+        vrm = VRMModel(resistance=2e-3, inductance=1e-9)
+        # State-space at DC: y -> 1/R
+        a, b, c, d = vrm.state_space()
+        dc_gain = d - (c @ np.linalg.solve(a, b))[0, 0]
+        assert np.isclose(dc_gain, 500.0)
+
+
+class TestShortAndResistive:
+    def test_short_admittance(self):
+        assert np.isclose(
+            ShortTermination(resistance=1e-4).admittance(np.array([1.0]))[0], 1e4
+        )
+
+    def test_resistive_validation(self):
+        with pytest.raises(ValueError):
+            ResistiveTermination(resistance=0.0)

@@ -1,0 +1,116 @@
+"""Unit tests for circuit branch elements."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.elements import (
+    Capacitor,
+    Conductance,
+    Inductor,
+    Resistor,
+    SeriesRL,
+    SeriesRLC,
+)
+
+
+class TestResistor:
+    def test_admittance(self):
+        r = Resistor("a", "b", resistance=25.0)
+        assert np.allclose(r.admittance(np.array([0.0, 1e6])), 0.04)
+
+    def test_invalid_resistance(self):
+        with pytest.raises(ValueError):
+            Resistor("a", "b", resistance=0.0)
+
+    def test_same_node_rejected(self):
+        with pytest.raises(ValueError, match="coincide"):
+            Resistor("a", "a", resistance=1.0)
+
+
+class TestConductance:
+    def test_zero_allowed(self):
+        g = Conductance("a", "b", conductance=0.0)
+        assert np.allclose(g.admittance(np.array([1.0])), 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Conductance("a", "b", conductance=-1.0)
+
+
+class TestInductor:
+    def test_admittance(self):
+        ind = Inductor("a", "b", inductance=1e-9)
+        w = np.array([1e9])
+        assert np.allclose(ind.admittance(w), 1.0 / (1j * 1e9 * 1e-9))
+
+    def test_dc_rejected(self):
+        ind = Inductor("a", "b", inductance=1e-9)
+        with pytest.raises(ValueError, match="DC"):
+            ind.admittance(np.array([0.0, 1.0]))
+
+
+class TestCapacitor:
+    def test_pure_capacitance(self):
+        c = Capacitor("a", "0", capacitance=1e-12)
+        w = np.array([1e9])
+        assert np.allclose(c.admittance(w), 1j * 1e9 * 1e-12)
+
+    def test_loss_tangent_conductance(self):
+        c = Capacitor("a", "0", capacitance=1e-12, loss_tangent=0.02)
+        w = np.array([1e9])
+        y = c.admittance(w)[0]
+        assert np.isclose(y.real, 1e9 * 1e-12 * 0.02)
+        assert np.isclose(y.imag, 1e9 * 1e-12)
+
+    def test_dc_is_leakage_only(self):
+        c = Capacitor("a", "0", capacitance=1e-12, leakage=1e-6, loss_tangent=0.1)
+        assert np.allclose(c.admittance(np.array([0.0])), 1e-6)
+
+
+class TestSeriesRL:
+    def test_dc_resistive(self):
+        b = SeriesRL("a", "b", resistance=2e-3, inductance=1e-9)
+        assert np.allclose(b.admittance(np.array([0.0])), 500.0)
+
+    def test_high_frequency_inductive(self):
+        b = SeriesRL("a", "b", resistance=1e-3, inductance=1e-9)
+        w = np.array([1e10])
+        y = b.admittance(w)[0]
+        assert abs(y - 1.0 / (1j * 10.0)) < 1e-4
+
+    def test_skin_corner_constant_below(self):
+        b = SeriesRL("a", "b", resistance=1e-3, inductance=0.0, skin_corner_hz=1e8)
+        w = 2 * np.pi * np.array([0.0, 1e4])
+        y = b.admittance(w)
+        assert np.allclose(np.abs(1.0 / y), 1e-3, rtol=1e-3)
+
+    def test_skin_corner_sqrt_above(self):
+        b = SeriesRL("a", "b", resistance=1e-3, inductance=0.0, skin_corner_hz=1e6)
+        w = 2 * np.pi * np.array([1e8, 4e8])
+        r = np.abs(1.0 / b.admittance(w))
+        # One decade above the corner R ~ sqrt(f): quadrupling f doubles R.
+        assert np.isclose(r[1] / r[0], 2.0, rtol=0.02)
+
+    def test_zero_resistance_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SeriesRL("a", "b", resistance=0.0)
+
+
+class TestSeriesRLC:
+    def test_dc_open(self):
+        b = SeriesRLC("a", "0", resistance=1e-3, inductance=1e-9, capacitance=1e-6)
+        assert np.allclose(b.admittance(np.array([0.0])), 0.0)
+
+    def test_resonance_resistive(self):
+        r, l, c = 5e-3, 1e-9, 1e-6
+        b = SeriesRLC("a", "0", resistance=r, inductance=l, capacitance=c)
+        w0 = 1.0 / np.sqrt(l * c)
+        y = b.admittance(np.array([w0]))[0]
+        assert np.isclose(y.real, 1.0 / r, rtol=1e-9)
+        assert abs(y.imag) < 1e-6 / r
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeriesRLC("a", "0", resistance=0.0)
+        with pytest.raises(ValueError):
+            SeriesRLC("a", "0", capacitance=0.0)

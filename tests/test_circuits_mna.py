@@ -1,0 +1,108 @@
+"""MNA AC analysis tests against hand-solvable circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.elements import Capacitor, Resistor, SeriesRL
+from repro.circuits.mna import ACAnalysis
+from repro.circuits.netlist import GROUND, Circuit
+
+
+def shunt_resistor_circuit(resistance):
+    c = Circuit()
+    c.add_port("p")
+    c.add(Resistor("p", GROUND, resistance=resistance))
+    return c
+
+
+class TestOnePort:
+    def test_shunt_resistor_scattering(self):
+        c = shunt_resistor_circuit(50.0)
+        data = ACAnalysis(c).scattering(np.array([1e3, 1e6]))
+        assert np.allclose(data.samples, 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("r", [10.0, 100.0])
+    def test_shunt_resistor_value(self, r):
+        c = shunt_resistor_circuit(r)
+        s = ACAnalysis(c).scattering(np.array([1e6])).samples[0, 0, 0]
+        assert np.isclose(s, (r - 50.0) / (r + 50.0))
+
+    def test_rc_lowpass_input_impedance(self):
+        # Port - R - internal - C - ground: Z_in = R + 1/(jwC)
+        r_val, c_val = 100.0, 1e-9
+        c = Circuit()
+        c.add_port("in")
+        c.add(Resistor("in", "mid", resistance=r_val))
+        c.add(Capacitor("mid", GROUND, capacitance=c_val))
+        f = np.array([1e5, 1e6, 1e7])
+        z = ACAnalysis(c).input_impedance(f)
+        expected = r_val + 1.0 / (1j * 2 * np.pi * f * c_val)
+        assert np.allclose(z, expected, rtol=1e-10)
+
+    def test_internal_node_reduction_matches_direct(self):
+        # A chain of two resistors equals their sum at DC.
+        c = Circuit()
+        c.add_port("in")
+        c.add(Resistor("in", "mid", resistance=30.0))
+        c.add(Resistor("mid", GROUND, resistance=20.0))
+        z = ACAnalysis(c).input_impedance(np.array([1e3]))
+        assert np.isclose(z[0].real, 50.0)
+
+
+class TestTwoPort:
+    def test_series_resistor_two_port(self):
+        # Two ports joined by a series resistor: known 2-port S-matrix.
+        r = 50.0
+        c = Circuit()
+        c.add_port("p1")
+        c.add_port("p2")
+        c.add(Resistor("p1", "p2", resistance=r))
+        s = ACAnalysis(c).scattering(np.array([1e6])).samples[0]
+        # S11 = r/(r + 2 R0), S21 = 2 R0/(r + 2 R0)
+        assert np.isclose(s[0, 0], r / (r + 100.0))
+        assert np.isclose(s[1, 0], 100.0 / (r + 100.0))
+
+    def test_reciprocity(self):
+        c = Circuit()
+        c.add_port("p1")
+        c.add_port("p2")
+        c.add(SeriesRL("p1", "mid", resistance=1.0, inductance=1e-9))
+        c.add(Capacitor("mid", GROUND, capacitance=1e-12))
+        c.add(Resistor("mid", "p2", resistance=5.0))
+        data = ACAnalysis(c).scattering(np.geomspace(1e3, 1e9, 11))
+        assert data.is_reciprocal(1e-9)
+
+    def test_passivity_of_rlc_network(self):
+        c = Circuit()
+        c.add_port("p1")
+        c.add_port("p2")
+        c.add(SeriesRL("p1", "p2", resistance=0.01, inductance=1e-9))
+        c.add(Capacitor("p1", GROUND, capacitance=1e-12, loss_tangent=0.02))
+        c.add(Capacitor("p2", GROUND, capacitance=1e-12, loss_tangent=0.02))
+        data = ACAnalysis(c).scattering(np.geomspace(1e3, 1e10, 31))
+        assert np.all(data.passivity_metric() <= 1.0 + 1e-10)
+
+    def test_port_admittance_symmetry(self):
+        c = Circuit()
+        c.add_port("p1")
+        c.add_port("p2")
+        c.add(Resistor("p1", "p2", resistance=10.0))
+        c.add(Resistor("p1", GROUND, resistance=100.0))
+        y = ACAnalysis(c).port_admittance(np.array([1e3]))[0]
+        assert np.allclose(y, y.T)
+        assert np.isclose(y[0, 0], 0.1 + 0.01)
+        assert np.isclose(y[0, 1], -0.1)
+
+
+class TestValidationAndNaming:
+    def test_invalid_circuit_rejected_at_construction(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            ACAnalysis(c)
+
+    def test_port_names_propagate(self):
+        c = Circuit()
+        c.add_port("n1", "alpha")
+        c.add(Resistor("n1", GROUND, resistance=1.0))
+        data = ACAnalysis(c).scattering(np.array([1e3]))
+        assert data.port_names == ("alpha",)

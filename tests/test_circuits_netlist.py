@@ -1,0 +1,85 @@
+"""Unit tests for the netlist container and validation."""
+
+import pytest
+
+from repro.circuits.elements import Resistor
+from repro.circuits.netlist import GROUND, Circuit, Port
+
+
+class TestPort:
+    def test_ground_port_rejected(self):
+        with pytest.raises(ValueError, match="ground"):
+            Port(node=GROUND)
+
+
+class TestCircuit:
+    def test_nodes_ports_first(self):
+        c = Circuit()
+        c.add(Resistor("n1", "n2", resistance=1.0))
+        c.add(Resistor("n2", GROUND, resistance=1.0))
+        c.add_port("n2", "p")
+        assert c.nodes[0] == "n2"
+
+    def test_duplicate_port_node_rejected(self):
+        c = Circuit()
+        c.add_port("n1", "a")
+        with pytest.raises(ValueError, match="already carries"):
+            c.add_port("n1", "b")
+
+    def test_add_type_checked(self):
+        c = Circuit()
+        with pytest.raises(TypeError, match="Branch"):
+            c.add("not a branch")
+
+    def test_port_index_returned(self):
+        c = Circuit()
+        assert c.add_port("n1") == 0
+        assert c.add_port("n2") == 1
+        assert c.n_ports == 2
+
+    def test_default_port_names(self):
+        c = Circuit()
+        c.add_port("n1")
+        assert c.ports[0].name == "port1"
+
+
+class TestValidation:
+    def test_no_ports(self):
+        c = Circuit()
+        c.add(Resistor("a", "b", resistance=1.0))
+        with pytest.raises(ValueError, match="no ports"):
+            c.validate()
+
+    def test_no_branches(self):
+        c = Circuit()
+        c.add_port("a")
+        with pytest.raises(ValueError, match="no branches"):
+            c.validate()
+
+    def test_port_node_unconnected(self):
+        c = Circuit()
+        c.add_port("lonely")
+        c.add(Resistor("a", "b", resistance=1.0))
+        with pytest.raises(ValueError, match="appear in no branch"):
+            c.validate()
+
+    def test_floating_subcircuit(self):
+        c = Circuit()
+        c.add_port("a")
+        c.add(Resistor("a", GROUND, resistance=1.0))
+        c.add(Resistor("x", "y", resistance=1.0))  # floating island
+        with pytest.raises(ValueError, match="floating"):
+            c.validate()
+
+    def test_valid_circuit_passes(self):
+        c = Circuit()
+        c.add_port("a")
+        c.add(Resistor("a", "b", resistance=1.0))
+        c.add(Resistor("b", GROUND, resistance=2.0))
+        c.validate()
+
+    def test_graph_includes_ground(self):
+        c = Circuit()
+        c.add_port("a")
+        c.add(Resistor("a", GROUND, resistance=1.0))
+        assert GROUND in c.graph().nodes

@@ -1,0 +1,113 @@
+"""Shape-claim integration tests (DESIGN.md C1-C5).
+
+These assert the paper's qualitative results on the synthetic test case:
+who wins, by roughly what factor, and where -- not absolute numbers.
+"""
+
+import numpy as np
+
+from repro.flow.metrics import (
+    max_relative_impedance_error,
+    rms_scattering_error,
+)
+from repro.passivity.check import check_passivity
+
+LOW_BAND = (0.0, 2 * np.pi * 1e6)  # DC - 1 MHz, the hypersensitive region
+
+
+def low_band_error(model, flow_result, testcase):
+    return max_relative_impedance_error(
+        model,
+        testcase.data.omega,
+        flow_result.reference_impedance,
+        testcase.termination,
+        testcase.observe_port,
+        band=LOW_BAND,
+    )
+
+
+class TestC1WeightedEnforcementWins:
+    """C1: standard-L2 enforcement destroys the loaded impedance; the
+    sensitivity-weighted enforcement preserves it (paper Fig. 5)."""
+
+    def test_standard_enforcement_destroys_impedance(self, flow_result, testcase):
+        error = low_band_error(flow_result.standard_enforced.model, flow_result, testcase)
+        assert error > 0.5  # at least 50% off (paper: order-of-magnitude)
+
+    def test_weighted_enforcement_preserves_impedance(self, flow_result, testcase):
+        error = low_band_error(flow_result.weighted_enforced.model, flow_result, testcase)
+        assert error < 0.25
+
+    def test_improvement_factor_order_of_magnitude(self, flow_result, testcase):
+        std = low_band_error(flow_result.standard_enforced.model, flow_result, testcase)
+        wtd = low_band_error(flow_result.weighted_enforced.model, flow_result, testcase)
+        assert std / wtd > 5.0
+
+
+class TestC2PassivityAchieved:
+    """C2: violations before enforcement, none after (paper Fig. 4)."""
+
+    def test_violations_before(self, flow_result):
+        report = flow_result.pre_enforcement_report
+        assert not report.is_passive
+        assert report.worst_sigma > 1.0
+        assert len(report.bands) >= 1
+
+    def test_passive_after_both_schemes(self, flow_result):
+        for result in (flow_result.standard_enforced, flow_result.weighted_enforced):
+            report = check_passivity(result.model)
+            assert report.is_passive
+            assert report.worst_sigma <= 1.0
+
+
+class TestC3ScatteringAccuracyRetained:
+    """C3: all models look equally good in the native scattering domain
+    (paper Figs. 1 and 6) -- the difference only shows under loading."""
+
+    def test_scattering_errors_comparable(self, flow_result, testcase):
+        omega, samples = testcase.data.omega, testcase.data.samples
+        rms_std = rms_scattering_error(flow_result.standard_fit.model, omega, samples)
+        rms_wtd_passive = rms_scattering_error(
+            flow_result.weighted_enforced.model, omega, samples
+        )
+        assert rms_std < 0.01
+        assert rms_wtd_passive < 0.03  # same order as the standard fit
+
+    def test_standard_fit_invisible_error(self, flow_result, testcase):
+        """Fig. 1: standard model overlaps the data (error << |S|)."""
+        assert flow_result.standard_fit.rms_error < 5e-3
+
+    def test_standard_fit_bad_under_load(self, flow_result, testcase):
+        """Fig. 2 red curve: yet its loaded impedance is badly wrong."""
+        error = low_band_error(flow_result.standard_fit.model, flow_result, testcase)
+        assert error > 0.2
+
+    def test_weighted_fit_good_under_load(self, flow_result, testcase):
+        """Fig. 2 green curve."""
+        error = low_band_error(flow_result.weighted_fit.model, flow_result, testcase)
+        assert error < 0.1
+
+
+class TestC4SensitivityModelQuality:
+    """C4: the rational sensitivity model matches the samples (Fig. 3)."""
+
+    def test_weight_model_fits_within_a_few_db(self, flow_result):
+        assert flow_result.weight_model.fit.rms_db_error < 5.0
+
+    def test_weight_model_is_stable_min_phase(self, flow_result):
+        fit = flow_result.weight_model.fit
+        assert np.all(fit.poles.real < 0)
+        assert np.all(fit.zeros.real <= 1e-9)
+
+
+class TestC5ConvergenceSpeed:
+    """C5: enforcement converges in a small number of iterations
+    (paper: 9)."""
+
+    def test_iteration_counts(self, flow_result):
+        assert 1 <= flow_result.standard_enforced.iterations <= 15
+        assert 1 <= flow_result.weighted_enforced.iterations <= 15
+
+    def test_worst_sigma_decreases(self, flow_result):
+        history = flow_result.weighted_enforced.history
+        assert history[-1].worst_sigma <= flow_result.pre_enforcement_report.worst_sigma

@@ -1,0 +1,104 @@
+"""Passivity checker: verdicts, bands, constraint frequencies."""
+
+import numpy as np
+import pytest
+
+from repro.passivity.check import check_passivity
+from repro.statespace.poleresidue import PoleResidueModel
+
+
+def bump_model(gain, omega0=5.0):
+    poles = np.array([-0.5 + omega0 * 1j, -0.5 - omega0 * 1j])
+    residues = np.array([[[gain * 0.5]], [[gain * 0.5]]], dtype=complex)
+    return PoleResidueModel(poles, residues, np.zeros((1, 1)))
+
+
+def two_bump_model():
+    """Two separate violation bands."""
+    poles = np.array(
+        [-0.3 + 5.0j, -0.3 - 5.0j, -0.8 + 50.0j, -0.8 - 50.0j]
+    )
+    residues = np.array(
+        [[[0.75]], [[0.75]], [[1.1]], [[1.1]]], dtype=complex
+    )
+    return PoleResidueModel(poles, residues, np.zeros((1, 1)))
+
+
+class TestVerdicts:
+    def test_passive_model(self):
+        report = check_passivity(bump_model(0.7))
+        assert report.is_passive
+        assert not report.bands
+        assert report.worst_sigma <= 1.0
+
+    def test_violating_model(self):
+        report = check_passivity(bump_model(1.6))
+        assert not report.is_passive
+        assert len(report.bands) == 1
+        assert report.worst_sigma > 1.0
+
+    def test_unstable_model_rejected(self):
+        model = PoleResidueModel(
+            np.array([0.5]), np.ones((1, 1, 1), complex), np.zeros((1, 1))
+        )
+        with pytest.raises(ValueError, match="stable"):
+            check_passivity(model)
+
+    def test_asymptotic_violation_reported(self):
+        model = PoleResidueModel(
+            np.array([-1.0]), np.zeros((1, 1, 1), complex), np.array([[1.1]])
+        )
+        report = check_passivity(model)
+        assert not report.is_passive
+        assert report.worst_omega == np.inf
+        assert report.asymptotic_gain > 1.0
+
+
+class TestBands:
+    def test_band_peak_location(self):
+        report = check_passivity(bump_model(1.6, omega0=5.0))
+        band = report.bands[0]
+        # Peak of the resonance sits near omega0.
+        assert 4.0 < band.omega_peak < 6.0
+        sigma_direct = np.abs(
+            bump_model(1.6).frequency_response(np.array([band.omega_peak]))[0, 0, 0]
+        )
+        assert np.isclose(band.sigma_peak, sigma_direct, rtol=1e-9)
+
+    def test_two_bands_found(self):
+        report = check_passivity(two_bump_model())
+        assert len(report.bands) == 2
+        peaks = sorted(b.omega_peak for b in report.bands)
+        assert 3.0 < peaks[0] < 7.0
+        assert 45.0 < peaks[1] < 55.0
+
+    def test_band_str(self):
+        report = check_passivity(bump_model(1.6))
+        assert "peak sigma" in str(report.bands[0])
+
+    def test_constraint_frequencies_cover_bands(self):
+        report = check_passivity(two_bump_model())
+        freqs = report.constraint_frequencies()
+        assert freqs.size >= 2
+        for band in report.bands:
+            assert np.any((freqs >= band.omega_low) & (freqs <= band.omega_high))
+
+    def test_worst_sigma_consistent_with_bands(self):
+        report = check_passivity(two_bump_model())
+        best_band = max(b.sigma_peak for b in report.bands)
+        # worst_sigma also tracks interval midpoints, so it may exceed the
+        # refined band peak by the sampling granularity.
+        assert report.worst_sigma >= best_band - 1e-12
+        assert np.isclose(report.worst_sigma, best_band, rtol=0.02)
+
+
+class TestOnRealModel:
+    def test_weighted_pdn_model_verdict(self, flow_result):
+        report = flow_result.pre_enforcement_report
+        assert not report.is_passive
+        assert report.bands  # multiple finite-frequency violations
+        assert report.asymptotic_gain < 1.0
+
+    def test_enforced_model_is_passive(self, flow_result):
+        report = check_passivity(flow_result.weighted_enforced.model)
+        assert report.is_passive

@@ -1,0 +1,136 @@
+"""Extensions: relative-error cost, per-element sensitivity cost,
+sampling-based passivity check."""
+
+import numpy as np
+import pytest
+
+from repro.passivity.check import check_passivity, check_passivity_sampling
+from repro.passivity.cost import l2_gramian_cost, relative_error_cost
+from repro.passivity.enforce import enforce_passivity
+from repro.sensitivity.firstorder import sensitivity_matrix
+from repro.sensitivity.weighted_norm import per_element_sensitivity_cost
+from repro.statespace.poleresidue import PoleResidueModel
+from tests.conftest import make_random_stable_model
+
+
+def violating_model(gain=1.3):
+    poles = np.array([-0.5 + 5.0j, -0.5 - 5.0j, -2.0])
+    residues = np.array([[[gain * 0.5]], [[gain * 0.5]], [[0.2]]], dtype=complex)
+    return PoleResidueModel(poles, residues, np.array([[0.1]]))
+
+
+class TestRelativeErrorCost:
+    def test_blocks_scale_with_inverse_rms(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        omega = np.geomspace(0.1, 50.0, 60)
+        samples = model.frequency_response(omega)
+        samples[:, 0, 1] *= 0.1  # make one entry quiet
+        samples[:, 1, 0] *= 0.1
+        cost = relative_error_cost(model, samples, ridge=0.0)
+        # Quiet entries get larger weight (bigger block).
+        loud = np.trace(cost.block(0, 0))
+        quiet = np.trace(cost.block(0, 1))
+        assert quiet > loud
+
+    def test_floor_bounds_weights(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        omega = np.geomspace(0.1, 50.0, 60)
+        samples = model.frequency_response(omega)
+        samples[:, 0, 1] *= 1e-9
+        samples[:, 1, 0] *= 1e-9
+        cost = relative_error_cost(model, samples, floor_ratio=0.1, ridge=0.0)
+        ratio = np.trace(cost.block(0, 1)) / np.trace(cost.block(0, 0))
+        assert ratio <= (1.0 / 0.1) ** 2 * 1.5
+
+    def test_enforcement_with_relative_cost(self):
+        model = violating_model()
+        omega = np.geomspace(0.1, 100.0, 120)
+        samples = model.frequency_response(omega)
+        result = enforce_passivity(model, relative_error_cost(model, samples))
+        assert result.converged
+
+    def test_shape_checked(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        with pytest.raises(ValueError, match="shape"):
+            relative_error_cost(model, np.zeros((5, 3, 3)))
+
+
+class TestPerElementSensitivityCost:
+    def test_build_and_enforce(self, testcase, flow_result):
+        model = flow_result.weighted_fit.model
+        data = testcase.data
+        grads = sensitivity_matrix(
+            data.samples, data.omega, testcase.termination, testcase.observe_port
+        )
+        cost = per_element_sensitivity_cost(
+            model, data.omega, grads, order=3
+        )
+        assert cost.n_ports == 9
+        # Blocks carry different frequency profiles across entries (that is
+        # the point): compare trace-normalized blocks of the floored-flat
+        # open-port entry (8,8) vs the strongly-shaped VRM entry (7,7).
+        b77 = cost.block(7, 7) / np.trace(cost.block(7, 7))
+        b88 = cost.block(8, 8) / np.trace(cost.block(8, 8))
+        assert np.linalg.norm(b77 - b88) > 0.05 * np.linalg.norm(b88)
+        result = enforce_passivity(model, cost)
+        assert result.converged
+
+    def test_shape_checked(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        with pytest.raises(ValueError, match="shape"):
+            per_element_sensitivity_cost(
+                model, np.geomspace(0.1, 10.0, 20), np.zeros((20, 3, 3))
+            )
+
+    def test_zero_gradients_rejected(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        omega = np.geomspace(0.1, 10.0, 20)
+        with pytest.raises(ValueError, match="zero"):
+            per_element_sensitivity_cost(model, omega, np.zeros((20, 2, 2)))
+
+
+class TestSamplingCheck:
+    def test_agrees_with_hamiltonian_on_verdict(self):
+        model = violating_model()
+        omega = np.geomspace(0.1, 100.0, 2000)
+        sampled = check_passivity_sampling(model, omega)
+        exact = check_passivity(model)
+        assert sampled.is_passive == exact.is_passive
+        assert np.isclose(sampled.worst_sigma, exact.worst_sigma, rtol=1e-3)
+
+    def test_passive_model(self):
+        model = violating_model(gain=0.5)
+        omega = np.geomspace(0.1, 100.0, 500)
+        report = check_passivity_sampling(model, omega)
+        assert report.is_passive
+        assert not report.bands
+
+    def test_band_edges_reasonable(self):
+        model = violating_model()
+        omega = np.geomspace(0.1, 100.0, 4000)
+        sampled = check_passivity_sampling(model, omega)
+        exact = check_passivity(model)
+        assert len(sampled.bands) == len(exact.bands)
+        for sb, eb in zip(sampled.bands, exact.bands):
+            assert np.isclose(sb.omega_peak, eb.omega_peak, rtol=0.05)
+
+    def test_misses_narrow_violations_on_coarse_grids(self):
+        """Documents the known limitation the Hamiltonian test fixes."""
+        model = violating_model()
+        coarse = np.array([0.1, 1.0, 100.0, 1000.0])  # skips the 5 rad/s bump
+        report = check_passivity_sampling(model, coarse)
+        assert report.is_passive  # wrong verdict -- by design of the test
+
+    def test_grid_validation(self):
+        model = violating_model()
+        with pytest.raises(ValueError, match="grid"):
+            check_passivity_sampling(model, np.array([1.0]))
+
+    def test_on_pdn_model(self, flow_result):
+        omega = 2 * np.pi * np.geomspace(1e3, 3e9, 3000)
+        sampled = check_passivity_sampling(flow_result.weighted_fit.model, omega)
+        assert not sampled.is_passive
+        sampled_after = check_passivity_sampling(
+            flow_result.weighted_enforced.model, omega
+        )
+        assert sampled_after.is_passive

@@ -1,0 +1,79 @@
+"""Constraint linearization: the first-order singular-value model must
+predict the effect of small residue perturbations."""
+
+import numpy as np
+import pytest
+
+from repro.passivity.perturbation import (
+    build_constraints,
+    flatten_delta,
+    unflatten_delta,
+)
+from tests.conftest import make_random_stable_model
+
+
+class TestFlattening:
+    def test_roundtrip(self, rng):
+        delta = rng.normal(size=(3, 3, 4))
+        flat = flatten_delta(delta)
+        assert flat.shape == (36,)
+        assert np.allclose(unflatten_delta(flat, 3, 4), delta)
+
+    def test_layout_matches_block_order(self, rng):
+        delta = np.zeros((2, 2, 3))
+        delta[1, 0, 2] = 7.0
+        flat = flatten_delta(delta)
+        assert flat[((1 * 2) + 0) * 3 + 2] == 7.0
+
+
+class TestConstraintRows:
+    def test_first_order_prediction(self, rng):
+        """F @ vec(delta) must match the actual change of sigma_i."""
+        model = make_random_stable_model(rng, n_ports=2)
+        omega_nu = 3.0
+        constraints = build_constraints(
+            model, np.array([omega_nu]), include_threshold=0.0
+        )
+        assert constraints.n_constraints == 2  # both singular values
+
+        delta = 1e-7 * rng.normal(size=(2, 2, model.element_state_dimension()))
+        predicted = constraints.matrix @ flatten_delta(delta)
+        base_c = model.element_output_vectors()
+        perturbed = model.with_element_output_vectors(base_c + delta)
+        sigma_before = np.linalg.svd(
+            model.frequency_response(np.array([omega_nu]))[0], compute_uv=False
+        )
+        sigma_after = np.linalg.svd(
+            perturbed.frequency_response(np.array([omega_nu]))[0], compute_uv=False
+        )
+        actual = sigma_after - sigma_before
+        assert np.allclose(predicted, actual, rtol=1e-4, atol=1e-13)
+
+    def test_bounds_encode_margin(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        constraints = build_constraints(
+            model, np.array([2.0]), margin=1e-3, include_threshold=0.0
+        )
+        sigma = np.linalg.svd(
+            model.frequency_response(np.array([2.0]))[0], compute_uv=False
+        )
+        assert np.allclose(constraints.bounds, (1.0 - 1e-3) - sigma)
+
+    def test_threshold_filters_small_sigmas(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        loose = build_constraints(model, np.array([2.0]), include_threshold=0.0)
+        strict = build_constraints(model, np.array([2.0]), include_threshold=1e9)
+        assert loose.n_constraints >= strict.n_constraints
+        assert strict.n_constraints == 0
+
+    def test_empty_constraint_set(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        empty = build_constraints(model, np.zeros(0), include_threshold=0.999)
+        assert empty.n_constraints == 0
+        assert empty.matrix.shape[1] == 4 * model.element_state_dimension()
+
+    def test_residual_computation(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        constraints = build_constraints(model, np.array([2.0]), include_threshold=0.0)
+        x = np.zeros(constraints.matrix.shape[1])
+        assert np.allclose(constraints.residual(x), constraints.bounds)

@@ -1,0 +1,162 @@
+"""Tests for the synthetic PDN generator: geometry, builder, termination,
+canonical test case."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.components import OpenTermination, ResistiveTermination
+from repro.pdn.builder import build_circuit
+from repro.pdn.geometry import ConnectionSpec, PDNGeometry, PlaneSpec, PortSpec
+from repro.pdn.termination import TerminationNetwork
+from repro.pdn.testcase import make_paper_testcase
+
+
+def tiny_geometry():
+    plane = PlaneSpec(
+        name="pl",
+        nx=2,
+        ny=2,
+        cell_resistance=1e-3,
+        cell_inductance=1e-10,
+        node_capacitance=1e-12,
+    )
+    ports = [PortSpec("pl", (0, 0), "p1", role="die")]
+    return PDNGeometry(planes=[plane], ports=ports)
+
+
+class TestGeometry:
+    def test_node_name(self):
+        plane = tiny_geometry().planes[0]
+        assert plane.node_name(1, 0) == "pl_1_0"
+
+    def test_node_name_out_of_range(self):
+        plane = tiny_geometry().planes[0]
+        with pytest.raises(ValueError, match="outside"):
+            plane.node_name(5, 0)
+
+    def test_duplicate_plane_names_rejected(self):
+        g = tiny_geometry()
+        g.planes.append(g.planes[0])
+        with pytest.raises(ValueError, match="duplicate"):
+            g.validate()
+
+    def test_unresolved_connection_rejected(self):
+        g = tiny_geometry()
+        g.connections.append(
+            ConnectionSpec("pl", (0, 0), "nope", (0, 0), 1e-3, 1e-10)
+        )
+        with pytest.raises(KeyError):
+            g.validate()
+
+    def test_invalid_port_role(self):
+        with pytest.raises(ValueError, match="role"):
+            PortSpec("pl", (0, 0), "p", role="banana")
+
+    def test_ports_with_role(self):
+        g = tiny_geometry()
+        assert g.ports_with_role("die") == [0]
+        assert g.ports_with_role("vrm") == []
+
+    def test_plane_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PlaneSpec("x", 0, 1, 1e-3, 1e-10, 1e-12)
+        with pytest.raises(ValueError):
+            PlaneSpec("x", 2, 2, -1e-3, 1e-10, 1e-12)
+        with pytest.raises(ValueError):
+            PlaneSpec("x", 2, 2, 1e-3, 1e-10, -1e-12)
+
+
+class TestBuilder:
+    def test_grid_edge_count(self):
+        circuit = build_circuit(tiny_geometry())
+        # 2x2 grid: 4 edges + 4 node capacitors = 8 branches.
+        assert len(circuit.branches) == 8
+
+    def test_port_nodes_first(self):
+        circuit = build_circuit(tiny_geometry())
+        assert circuit.nodes[0] == "pl_0_0"
+
+    def test_connections_added(self):
+        g = tiny_geometry()
+        g.planes.append(
+            PlaneSpec("p2", 2, 1, 1e-3, 1e-10, 1e-12)
+        )
+        g.connections.append(ConnectionSpec("pl", (1, 1), "p2", (0, 0), 1e-3, 1e-10))
+        circuit = build_circuit(g)
+        # 8 + (1 edge + 2 caps) + 1 connection
+        assert len(circuit.branches) == 12
+
+
+class TestTerminationNetwork:
+    def test_admittance_diagonal(self):
+        net = TerminationNetwork(
+            terminations=[ResistiveTermination(50.0), OpenTermination()],
+        )
+        y = net.admittance_matrices(np.array([1e6]))
+        assert y.shape == (1, 2, 2)
+        assert np.isclose(y[0, 0, 0], 0.02)
+        assert y[0, 1, 1] == 0.0
+        assert y[0, 0, 1] == 0.0
+
+    def test_excitation_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            TerminationNetwork(
+                terminations=[OpenTermination()], excitations=np.ones(3)
+            )
+
+    def test_all_open_factory(self):
+        net = TerminationNetwork.all_open(4)
+        assert net.n_ports == 4
+        assert not np.any(net.source_vector())
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            TerminationNetwork(terminations=["resistor"])
+
+    def test_describe_includes_excitation(self):
+        net = TerminationNetwork(
+            terminations=[ResistiveTermination(50.0)], excitations=np.array([0.5])
+        )
+        assert "J=0.5" in net.describe()[0]
+
+
+class TestCanonicalTestCase:
+    def test_structure(self, testcase):
+        assert testcase.data.n_ports == 9
+        assert len(testcase.die_ports) == 4
+        assert len(testcase.decap_ports) == 3
+        assert len(testcase.vrm_ports) == 1
+        assert testcase.observe_port in testcase.die_ports
+
+    def test_frequency_grid_matches_paper(self, testcase):
+        f = testcase.data.frequencies
+        assert f[0] == 0.0  # DC point included
+        assert f[1] == 1e3
+        assert f[-1] == 2e9
+
+    def test_data_is_passive(self, testcase):
+        assert np.all(testcase.data.passivity_metric() <= 1.0 + 1e-9)
+
+    def test_data_is_reciprocal(self, testcase):
+        assert testcase.data.is_reciprocal(1e-7)
+
+    def test_excitation_sums_to_one_ampere(self, testcase):
+        assert np.isclose(testcase.termination.source_vector().sum(), 1.0)
+
+    def test_summary_mentions_ports(self, testcase):
+        assert "9 ports" in testcase.summary()
+
+    def test_large_variant_builds(self):
+        tc = make_paper_testcase(size="large", n_frequencies=31, include_dc=False)
+        assert tc.data.n_ports == 20
+        assert np.all(tc.data.passivity_metric() <= 1.0 + 1e-9)
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            make_paper_testcase(size="huge")
+
+    def test_low_frequency_near_singular_i_plus_s(self, testcase):
+        """The sensitivity mechanism: (I+S) nearly singular at low f."""
+        s_low = testcase.data.samples[1]
+        sv = np.linalg.svd(np.eye(9) + s_low, compute_uv=False)
+        assert sv.min() < 1e-3

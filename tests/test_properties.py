@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparams.conversions import s_to_y, s_to_z, y_to_s, z_to_s
+from repro.statespace.gramians import controllability_gramian
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.util.linalg import unvec_columns, vec_columns
+from repro.vectfit.core import canonicalize_poles, flip_unstable_poles, vector_fit
+from repro.vectfit.options import VFOptions
+
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# vec/unvec
+# ----------------------------------------------------------------------
+@given(
+    hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2), elements=finite_floats)
+)
+def test_vec_roundtrip(matrix):
+    rows, cols = matrix.shape
+    assert np.array_equal(
+        unvec_columns(vec_columns(matrix), rows, cols), matrix
+    )
+
+
+# ----------------------------------------------------------------------
+# Conversions round-trip for passive scattering matrices
+# ----------------------------------------------------------------------
+@st.composite
+def passive_scattering(draw):
+    p = draw(st.integers(min_value=1, max_value=4))
+    k = draw(st.integers(min_value=1, max_value=3))
+    re = draw(
+        hnp.arrays(np.float64, (k, p, p), elements=st.floats(-1.0, 1.0))
+    )
+    im = draw(
+        hnp.arrays(np.float64, (k, p, p), elements=st.floats(-1.0, 1.0))
+    )
+    s = re + 1j * im
+    norms = np.maximum(
+        np.linalg.norm(s, ord=2, axis=(1, 2)), 1e-6
+    )
+    return 0.8 * s / norms[:, None, None]
+
+
+@given(passive_scattering())
+@settings(max_examples=40, deadline=None)
+def test_s_y_roundtrip_property(s):
+    assert np.allclose(y_to_s(s_to_y(s, 50.0), 50.0), s, atol=1e-8)
+
+
+@given(passive_scattering())
+@settings(max_examples=40, deadline=None)
+def test_s_z_roundtrip_property(s):
+    assert np.allclose(z_to_s(s_to_z(s, 50.0), 50.0), s, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# Pole canonicalization
+# ----------------------------------------------------------------------
+pole_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=-100.0, max_value=-0.01),
+        st.floats(min_value=0.0, max_value=100.0),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(pole_strategy)
+def test_canonicalize_preserves_count_and_pairs(pole_specs):
+    raw = []
+    for re, im in pole_specs:
+        if im < 0.05:
+            raw.append(complex(re, 0.0))
+        else:
+            raw.append(complex(re, im))
+            raw.append(complex(re, -im))
+    out = canonicalize_poles(np.asarray(raw, dtype=complex))
+    assert out.size == len(raw)
+    # Pair-grouped: every +imag pole is immediately followed by its conjugate.
+    n = 0
+    while n < out.size:
+        if out[n].imag == 0.0:
+            n += 1
+        else:
+            assert out[n].imag > 0
+            assert out[n + 1] == np.conj(out[n])
+            n += 2
+
+
+@given(pole_strategy)
+def test_flip_unstable_makes_stable(pole_specs):
+    raw = np.asarray(
+        [complex(abs(re), im) for re, im in pole_specs], dtype=complex
+    )
+    flipped = flip_unstable_poles(raw, floor=1e-6)
+    assert np.all(flipped.real < 0)
+    assert np.allclose(np.abs(flipped.imag), np.abs(raw.imag))
+
+
+# ----------------------------------------------------------------------
+# Gramians of random stable diagonal-ish systems
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.floats(min_value=-1e4, max_value=-1e-2), min_size=1, max_size=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_gramian_psd_property(pole_list, seed):
+    rng = np.random.default_rng(seed)
+    n = len(pole_list)
+    a = np.diag(pole_list) + np.triu(rng.normal(size=(n, n)), k=1)
+    b = rng.normal(size=(n, 1))
+    p = controllability_gramian(a, b)
+    eigs = np.linalg.eigvalsh(p)
+    assert eigs.min() >= -1e-8 * max(eigs.max(), 1e-30)
+
+
+# ----------------------------------------------------------------------
+# Vector fitting recovers random rational models
+# ----------------------------------------------------------------------
+@st.composite
+def random_model_spec(draw):
+    n_real = draw(st.integers(min_value=0, max_value=2))
+    n_pairs = draw(st.integers(min_value=0, max_value=2))
+    if n_real + n_pairs == 0:
+        n_real = 1
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return n_real, n_pairs, seed
+
+
+@given(random_model_spec())
+@settings(max_examples=15, deadline=None)
+def test_vector_fit_recovery_property(spec):
+    n_real, n_pairs, seed = spec
+    rng = np.random.default_rng(seed)
+    poles = []
+    for _ in range(n_real):
+        poles.append(complex(-rng.uniform(0.1, 5.0), 0.0))
+    for _ in range(n_pairs):
+        re, im = -rng.uniform(0.1, 2.0), rng.uniform(0.5, 30.0)
+        poles.append(complex(re, im))
+        poles.append(complex(re, -im))
+    poles = np.asarray(poles)
+    residues = np.zeros((poles.size, 1, 1), dtype=complex)
+    idx = 0
+    for _ in range(n_real):
+        residues[idx, 0, 0] = rng.normal()
+        idx += 1
+    for _ in range(n_pairs):
+        residues[idx, 0, 0] = rng.normal() + 1j * rng.normal()
+        residues[idx + 1, 0, 0] = np.conj(residues[idx, 0, 0])
+        idx += 2
+    truth = PoleResidueModel(poles, residues, np.array([[rng.normal() * 0.1]]))
+    omega = np.geomspace(0.01, 100.0, 160)
+    data = truth.frequency_response(omega)
+    result = vector_fit(
+        omega,
+        data,
+        options=VFOptions(
+            n_poles=poles.size, asymptotic_passivity_margin=0.0
+        ),
+    )
+    scale = max(float(np.abs(data).max()), 1e-12)
+    assert result.rms_error < 1e-6 * scale
+
+
+# ----------------------------------------------------------------------
+# Pole-residue realization equivalence
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_realization_equivalence_property(seed):
+    from tests.conftest import make_random_stable_model
+
+    rng = np.random.default_rng(seed)
+    model = make_random_stable_model(rng, n_ports=2)
+    omega = np.geomspace(0.1, 50.0, 12)
+    direct = model.frequency_response(omega)
+    via_ss = model.to_state_space().frequency_response(omega)
+    assert np.allclose(direct, via_ss, atol=1e-9)

@@ -1,0 +1,51 @@
+"""Property-based round-trip tests for the persistence layers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparams.network import NetworkData
+from repro.sparams.touchstone import read_touchstone, write_touchstone
+from repro.statespace.serialization import load_model, save_model
+from tests.conftest import make_random_stable_model
+
+
+@st.composite
+def network_data(draw):
+    k = draw(st.integers(min_value=1, max_value=6))
+    p = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    f = np.sort(rng.uniform(1e3, 1e9, size=k))
+    while np.any(np.diff(f) <= 0):  # enforce strict monotonicity
+        f = np.sort(rng.uniform(1e3, 1e9, size=k))
+    s = 0.5 * (rng.normal(size=(k, p, p)) + 1j * rng.normal(size=(k, p, p)))
+    return NetworkData(frequencies=f, samples=s)
+
+
+@given(network_data(), st.sampled_from(["ri", "ma", "db"]))
+@settings(max_examples=25, deadline=None)
+def test_touchstone_roundtrip_property(tmp_path_factory, data, fmt):
+    path = tmp_path_factory.mktemp("ts") / f"x.s{data.n_ports}p"
+    write_touchstone(data, path, fmt=fmt)
+    back = read_touchstone(path)
+    assert back.n_ports == data.n_ports
+    assert np.allclose(back.frequencies, data.frequencies, rtol=1e-9)
+    assert np.allclose(back.samples, data.samples, atol=1e-8)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_model_serialization_roundtrip_property(tmp_path_factory, seed):
+    rng = np.random.default_rng(seed)
+    model = make_random_stable_model(
+        rng,
+        n_real=int(rng.integers(0, 3)),
+        n_pairs=int(rng.integers(0, 3)) or 1,
+        n_ports=int(rng.integers(1, 4)),
+    )
+    path = tmp_path_factory.mktemp("model") / "m.json"
+    save_model(model, path)
+    back = load_model(path)
+    assert np.allclose(back.poles, model.poles)
+    assert np.allclose(back.residues, model.residues)
+    assert np.allclose(back.const, model.const)

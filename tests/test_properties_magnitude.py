@@ -1,0 +1,51 @@
+"""Property-based tests for Magnitude Vector Fitting."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.vectfit.magnitude import fit_magnitude
+
+
+@st.composite
+def magnitude_spec(draw):
+    """Random stable SISO transfer magnitudes with positive asymptote."""
+    n_poles = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return n_poles, seed
+
+
+@given(magnitude_spec())
+@settings(max_examples=15, deadline=None)
+def test_magnitude_fit_recovers_rational_magnitudes(spec):
+    n_poles, seed = spec
+    rng = np.random.default_rng(seed)
+    poles = -np.sort(rng.uniform(0.1, 50.0, size=n_poles))[::-1]
+    residues = rng.uniform(0.2, 2.0, size=n_poles)
+    d = rng.uniform(0.01, 0.3)
+    omega = np.geomspace(0.01, 500.0, 140)
+    h = np.full(omega.size, d, dtype=complex)
+    for p, r in zip(poles, residues):
+        h += r / (1j * omega - p)
+    magnitude = np.abs(h)
+    result = fit_magnitude(omega, magnitude, n_poles=n_poles)
+    # Invariants: stability, minimum phase, and a faithful magnitude.
+    assert result.model.is_stable()
+    assert np.all(result.poles.real < 0)
+    assert np.all(result.zeros.real <= 1e-9)
+    assert result.rms_db_error < 0.5
+
+
+@given(
+    st.floats(min_value=0.05, max_value=5.0),
+    st.floats(min_value=0.01, max_value=0.5),
+)
+@settings(max_examples=20, deadline=None)
+def test_magnitude_fit_scale_equivariance(scale, d):
+    """Scaling the magnitude data scales the fitted model's response."""
+    omega = np.geomspace(0.01, 100.0, 100)
+    base = np.abs(1.0 / (1j * omega + 2.0) + d)
+    r1 = fit_magnitude(omega, base, n_poles=1)
+    r2 = fit_magnitude(omega, scale * base, n_poles=1)
+    m1 = np.abs(r1.model.frequency_response(omega)[:, 0, 0])
+    m2 = np.abs(r2.model.frequency_response(omega)[:, 0, 0])
+    assert np.allclose(m2, scale * m1, rtol=1e-4)

@@ -1,0 +1,124 @@
+"""First-order sensitivity: analytic formula vs finite differences and
+Monte Carlo (paper eq. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.pdn.termination import TerminationNetwork
+from repro.circuits.components import ResistiveTermination
+from repro.sensitivity.firstorder import (
+    sensitivity_analytic,
+    sensitivity_matrix,
+    sensitivity_monte_carlo,
+)
+from repro.sensitivity.zpdn import target_impedance
+
+
+class TestAgainstFiniteDifferences:
+    def test_gradient_entries(self, testcase):
+        """Central finite differences must match the analytic gradient
+        magnitudes entry by entry (central kills the large curvature of the
+        hypersensitive low band)."""
+        k_probe = 40
+        s = testcase.data.samples[k_probe : k_probe + 1]
+        omega = testcase.data.omega[k_probe : k_probe + 1]
+        term = testcase.termination
+        port = testcase.observe_port
+        grad = sensitivity_matrix(s, omega, term, port)[0]
+        # eps large enough that delta-z clears the double-precision floor of
+        # z itself even for gradient entries ~1e-7.
+        eps = 1e-7
+        for a, b in [(0, 0), (2, 5), (7, 3)]:
+            plus = s.copy()
+            plus[0, a, b] += eps
+            minus = s.copy()
+            minus[0, a, b] -= eps
+            z_plus = target_impedance(plus, omega, term, port)[0]
+            z_minus = target_impedance(minus, omega, term, port)[0]
+            fd = abs(z_plus - z_minus) / (2 * eps)
+            assert np.isclose(fd, grad[a, b], rtol=1e-2)
+
+    def test_xi_is_rss_of_matrix(self, testcase):
+        s = testcase.data.samples[:5]
+        omega = testcase.data.omega[:5]
+        xi = sensitivity_analytic(s, omega, testcase.termination, testcase.observe_port)
+        grad = sensitivity_matrix(s, omega, testcase.termination, testcase.observe_port)
+        assert np.allclose(xi, np.sqrt(np.sum(grad**2, axis=(1, 2))), rtol=1e-10)
+
+
+class TestMonteCarlo:
+    def test_proportional_to_analytic(self, testcase):
+        """E|dZ|/sigma ~ c * Xi with a single ensemble constant c = O(1)."""
+        pick = np.arange(0, testcase.data.n_frequencies, 25)
+        s = testcase.data.samples[pick]
+        omega = testcase.data.omega[pick]
+        xi = sensitivity_analytic(
+            s, omega, testcase.termination, testcase.observe_port
+        )
+        mc = sensitivity_monte_carlo(
+            s,
+            omega,
+            testcase.termination,
+            testcase.observe_port,
+            noise_std=1e-9,
+            n_draws=200,
+            rng=np.random.default_rng(42),
+        )
+        ratio = mc / xi
+        # Circular complex Gaussian: E|sum| = sqrt(pi)/2 * RSS ~ 0.886.
+        assert np.all(ratio > 0.6)
+        assert np.all(ratio < 1.2)
+        assert ratio.std() / ratio.mean() < 0.2
+
+    def test_linear_regime(self, testcase):
+        """Halving the noise std must not change the normalized estimate."""
+        s = testcase.data.samples[50:51]
+        omega = testcase.data.omega[50:51]
+        kwargs = dict(n_draws=400, rng=np.random.default_rng(0))
+        mc1 = sensitivity_monte_carlo(
+            s, omega, testcase.termination, testcase.observe_port,
+            noise_std=1e-9, **kwargs
+        )
+        kwargs = dict(n_draws=400, rng=np.random.default_rng(0))
+        mc2 = sensitivity_monte_carlo(
+            s, omega, testcase.termination, testcase.observe_port,
+            noise_std=5e-10, **kwargs
+        )
+        assert np.isclose(mc1[0], mc2[0], rtol=0.05)
+
+
+class TestShape:
+    def test_sensitivity_profile(self, testcase):
+        """Relative sensitivity Xi/|Z| decays by orders of magnitude from
+        the low band to the high band -- the paper's Fig. 3 shape."""
+        xi = sensitivity_analytic(
+            testcase.data.samples,
+            testcase.data.omega,
+            testcase.termination,
+            testcase.observe_port,
+        )
+        z = np.abs(
+            target_impedance(
+                testcase.data.samples,
+                testcase.data.omega,
+                testcase.termination,
+                testcase.observe_port,
+            )
+        )
+        f = testcase.data.frequencies
+        relative = xi / z
+        low = relative[(f > 0) & (f < 1e5)].mean()
+        high = relative[f > 5e8].mean()
+        assert low / high > 100.0
+
+    def test_no_excitation_rejected(self, testcase):
+        net = TerminationNetwork(
+            terminations=[ResistiveTermination(50.0)] * 9
+        )
+        with pytest.raises(ValueError, match="excitation"):
+            sensitivity_analytic(
+                testcase.data.samples[:2],
+                testcase.data.omega[:2],
+                net,
+                0,
+            )

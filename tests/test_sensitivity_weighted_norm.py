@@ -1,0 +1,96 @@
+"""Weighted norm (eqs. 18-21): the Gramian block must equal the actual
+frequency-domain weighted L2 norm of the perturbation."""
+
+import numpy as np
+import pytest
+
+from repro.passivity.cost import l2_gramian_cost
+from repro.sensitivity.weighted_norm import (
+    per_element_weighted_cost,
+    sensitivity_weighted_cost,
+    weighted_gramian_block,
+)
+from repro.statespace.system import StateSpaceModel
+from tests.conftest import make_random_stable_model
+
+
+def first_order_weight(pole=-3.0, gain=1.0, d=0.1):
+    return StateSpaceModel(
+        np.array([[pole]]), np.array([[1.0]]), np.array([[gain]]), np.array([[d]])
+    )
+
+
+class TestWeightedGramianBlock:
+    def test_quadrature_cross_check(self, rng):
+        """delta_c^T P11 delta_c == (1/2pi) int |Xi(jw)|^2 |dS(jw)|^2 dw."""
+        model = make_random_stable_model(rng, n_ports=1, scale=1.0)
+        weight = first_order_weight()
+        a_e, b_e = model.element_dynamics()
+        block = weighted_gramian_block(a_e, b_e, weight)
+        delta_c = rng.normal(size=model.element_state_dimension())
+
+        omega = np.linspace(-500.0, 500.0, 400001)
+        eye = np.eye(a_e.shape[0])
+        kernel = np.array(
+            [np.linalg.solve(1j * w * eye - a_e, b_e) for w in omega]
+        )
+        d_s = kernel @ delta_c
+        xi = weight.frequency_response(np.abs(omega))[:, 0, 0]
+        xi = np.where(omega >= 0, xi, np.conj(xi))
+        integrand = np.abs(xi) ** 2 * np.abs(d_s) ** 2
+        quadrature = np.trapezoid(integrand, omega) / (2 * np.pi)
+        algebraic = float(delta_c @ block @ delta_c)
+        assert np.isclose(algebraic, quadrature, rtol=2e-3)
+
+    def test_unit_weight_reduces_to_l2(self, rng):
+        """Xi(s) = 1 must reproduce the standard L2 Gramian cost."""
+        model = make_random_stable_model(rng, n_ports=2)
+        unit = StateSpaceModel(
+            np.zeros((0, 0)), np.zeros((0, 1)), np.zeros((1, 0)), np.array([[1.0]])
+        )
+        weighted = sensitivity_weighted_cost(model, unit, ridge=0.0)
+        plain = l2_gramian_cost(model, ridge=0.0)
+        assert np.allclose(weighted.block(0, 0), plain.block(0, 0), rtol=1e-9)
+
+    def test_scaling_quadratic_in_weight(self, rng):
+        model = make_random_stable_model(rng, n_ports=1)
+        a_e, b_e = model.element_dynamics()
+        w1 = first_order_weight(gain=1.0, d=0.2)
+        w2 = first_order_weight(gain=2.0, d=0.4)
+        b1 = weighted_gramian_block(a_e, b_e, w1)
+        b2 = weighted_gramian_block(a_e, b_e, w2)
+        assert np.allclose(b2, 4.0 * b1, rtol=1e-9)
+
+    def test_requires_siso_weight(self, rng):
+        model = make_random_stable_model(rng, n_ports=1)
+        a_e, b_e = model.element_dynamics()
+        mimo = StateSpaceModel(
+            np.array([[-1.0]]), np.ones((1, 2)), np.ones((2, 1)), np.zeros((2, 2))
+        )
+        with pytest.raises(ValueError, match="SISO"):
+            weighted_gramian_block(a_e, b_e, mimo)
+
+
+class TestCosts:
+    def test_shared_cost_block_spd(self, flow_result, weighted_model):
+        cost = sensitivity_weighted_cost(
+            weighted_model, flow_result.weight_model.model
+        )
+        block = cost.block(0, 0)
+        eigs = np.linalg.eigvalsh(block)
+        assert eigs.min() > 0.0
+
+    def test_per_element_extension(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        weights = np.empty((2, 2), dtype=object)
+        for a in range(2):
+            for b in range(2):
+                weights[a, b] = first_order_weight(gain=1.0 + a + b)
+        cost = per_element_weighted_cost(model, weights, ridge=0.0)
+        # Blocks must differ according to their weight gains.
+        assert not np.allclose(cost.block(0, 0), cost.block(1, 1))
+
+    def test_per_element_shape_checked(self, rng):
+        model = make_random_stable_model(rng, n_ports=2)
+        with pytest.raises(ValueError, match="object array"):
+            per_element_weighted_cost(model, np.empty((3, 3), dtype=object))

@@ -1,0 +1,65 @@
+"""Sensitivity weight model construction (eq. 17 wrapper)."""
+
+import numpy as np
+import pytest
+
+from repro.sensitivity.weightmodel import build_weight_model
+
+
+def synthetic_xi(omega):
+    return 3.0 / (1.0 + (omega / 2e5)) + 0.01
+
+
+class TestBuildWeightModel:
+    def test_basic_fit(self):
+        omega = 2 * np.pi * np.geomspace(1e3, 2e9, 150)
+        xi = synthetic_xi(omega)
+        weight = build_weight_model(omega, xi, order=4)
+        assert weight.model.is_stable()
+        assert weight.fit.rms_db_error < 0.5
+        assert np.isclose(weight.xi.max(), 1.0)  # normalized
+        assert np.isclose(weight.scale, xi.max())
+
+    def test_magnitude_response_helper(self):
+        omega = 2 * np.pi * np.geomspace(1e3, 2e9, 150)
+        weight = build_weight_model(omega, synthetic_xi(omega), order=4)
+        response = weight.magnitude_response(omega)
+        ratio = response / weight.xi
+        assert np.all(ratio > 0.5)
+        assert np.all(ratio < 2.0)
+
+    def test_unnormalized(self):
+        omega = 2 * np.pi * np.geomspace(1e3, 2e9, 150)
+        xi = synthetic_xi(omega)
+        weight = build_weight_model(omega, xi, order=4, normalize=False)
+        assert weight.scale == 1.0
+        assert np.isclose(weight.xi.max(), xi.max())
+
+    def test_band_restriction(self):
+        omega = 2 * np.pi * np.geomspace(1e3, 2e9, 200)
+        xi = synthetic_xi(omega)
+        # Add a narrow artifact near 1 GHz that the band restriction skips
+        # (the paper's "we did not care of matching the spike").
+        xi = xi + 0.5 * np.exp(-(((omega - 2 * np.pi * 1e9) / 5e8) ** 2))
+        weight = build_weight_model(
+            omega, xi, order=4, band=(0.0, 2 * np.pi * 1e8)
+        )
+        low = omega < 2 * np.pi * 1e7
+        ratio = weight.magnitude_response(omega[low]) / weight.xi[low]
+        assert np.all(np.abs(20 * np.log10(ratio)) < 3.0)
+
+    def test_band_too_narrow_rejected(self):
+        omega = 2 * np.pi * np.geomspace(1e3, 2e9, 50)
+        with pytest.raises(ValueError, match="too few"):
+            build_weight_model(
+                omega, synthetic_xi(omega), order=8, band=(0.0, 2 * np.pi * 1e4)
+            )
+
+    def test_validation(self):
+        omega = 2 * np.pi * np.geomspace(1e3, 1e9, 60)
+        with pytest.raises(ValueError, match="shape"):
+            build_weight_model(omega, np.ones(10))
+        with pytest.raises(ValueError, match="non-negative"):
+            build_weight_model(omega, -np.ones(60))
+        with pytest.raises(ValueError, match="zero"):
+            build_weight_model(omega, np.zeros(60))

@@ -1,0 +1,116 @@
+"""Loaded impedance (eq. 2): analytic one-port cases and data consistency."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.components import (
+    OpenTermination,
+    ResistiveTermination,
+    ShortTermination,
+)
+from repro.pdn.termination import TerminationNetwork
+from repro.sensitivity.zpdn import (
+    loaded_impedance_matrix,
+    target_impedance,
+    target_impedance_of_model,
+)
+
+
+def resistor_s(resistance, k=3, z0=50.0):
+    gamma = (resistance - z0) / (resistance + z0)
+    return np.full((k, 1, 1), gamma, dtype=complex)
+
+
+class TestAnalyticOnePort:
+    def test_parallel_resistors(self):
+        # Network: shunt R1 seen at the port; load R2: Z = R1 || R2.
+        r1, r2 = 100.0, 50.0
+        s = resistor_s(r1)
+        omega = np.array([1.0, 2.0, 3.0])
+        net = TerminationNetwork(
+            terminations=[ResistiveTermination(r2)], excitations=np.array([1.0])
+        )
+        z = loaded_impedance_matrix(s, omega, net)
+        expected = r1 * r2 / (r1 + r2)
+        assert np.allclose(z[:, 0, 0], expected)
+
+    def test_open_termination_returns_raw_impedance(self):
+        r1 = 75.0
+        s = resistor_s(r1)
+        omega = np.array([1.0, 2.0, 3.0])
+        net = TerminationNetwork(
+            terminations=[OpenTermination()], excitations=np.array([1.0])
+        )
+        z = target_impedance(s, omega, net, 0)
+        assert np.allclose(z, r1)
+
+    def test_short_termination_kills_impedance(self):
+        s = resistor_s(100.0)
+        omega = np.array([1.0, 2.0, 3.0])
+        net = TerminationNetwork(
+            terminations=[ShortTermination(resistance=1e-9)],
+            excitations=np.array([1.0]),
+        )
+        z = target_impedance(s, omega, net, 0)
+        assert np.all(np.abs(z) < 1e-8)
+
+
+class TestValidation:
+    def test_port_count_mismatch(self):
+        s = resistor_s(100.0)
+        net = TerminationNetwork.all_open(2)
+        with pytest.raises(ValueError, match="ports"):
+            loaded_impedance_matrix(s, np.array([1.0, 2.0, 3.0]), net)
+
+    def test_no_excitation_rejected(self):
+        s = resistor_s(100.0)
+        net = TerminationNetwork.all_open(1)
+        with pytest.raises(ValueError, match="excitation"):
+            target_impedance(s, np.array([1.0, 2.0, 3.0]), net, 0)
+
+    def test_k_mismatch(self):
+        s = resistor_s(100.0, k=3)
+        net = TerminationNetwork.all_open(1)
+        with pytest.raises(ValueError, match="agree"):
+            loaded_impedance_matrix(s, np.array([1.0]), net)
+
+
+class TestOnPDNData:
+    def test_dc_impedance_is_small_and_real(self, testcase):
+        z = target_impedance(
+            testcase.data.samples,
+            testcase.data.omega,
+            testcase.termination,
+            testcase.observe_port,
+        )
+        assert abs(z[0].imag) < 1e-6 * abs(z[0])
+        assert 1e-4 < abs(z[0]) < 0.1  # milliohm regime
+
+    def test_model_vs_data_impedance_consistency(self, flow_result, testcase):
+        """A near-exact model must give a near-exact target impedance away
+        from the hypersensitive low band."""
+        z_data = flow_result.reference_impedance
+        z_model = target_impedance_of_model(
+            flow_result.weighted_fit.model,
+            testcase.data.omega,
+            testcase.termination,
+            testcase.observe_port,
+        )
+        f = testcase.data.frequencies
+        band = (f > 1e8) & (f < 3e8)
+        rel = np.abs(z_model - z_data)[band] / np.abs(z_data)[band]
+        assert rel.max() < 0.2
+
+    def test_impedance_shape_features(self, testcase):
+        """Low-f short-dominated, inductive rise, plane resonances."""
+        z = np.abs(
+            target_impedance(
+                testcase.data.samples,
+                testcase.data.omega,
+                testcase.termination,
+                testcase.observe_port,
+            )
+        )
+        f = testcase.data.frequencies
+        # Impedance peaks in the 10 MHz - 2 GHz region exceed the DC value.
+        assert z[(f > 1e7)].max() > 5 * z[1]

@@ -1,0 +1,117 @@
+"""Unit tests for S/Y/Z conversions, including analytic one-port checks."""
+
+import numpy as np
+import pytest
+
+from repro.sparams.conversions import (
+    renormalize_s,
+    s_to_y,
+    s_to_z,
+    y_to_s,
+    y_to_z,
+    z_to_s,
+    z_to_y,
+)
+
+
+def random_passive_s(rng, k=6, p=3):
+    """Random strictly-sub-unitary scattering stack."""
+    s = rng.normal(size=(k, p, p)) + 1j * rng.normal(size=(k, p, p))
+    norms = np.linalg.norm(s, ord=2, axis=(1, 2))
+    return 0.7 * s / norms[:, None, None]
+
+
+class TestAnalyticOnePort:
+    """A resistor R at a single port: S = (R - R0)/(R + R0)."""
+
+    @pytest.mark.parametrize("resistance", [10.0, 50.0, 200.0])
+    def test_z_to_s_resistor(self, resistance):
+        z = np.array([[[resistance + 0j]]])
+        s = z_to_s(z, 50.0)
+        expected = (resistance - 50.0) / (resistance + 50.0)
+        assert np.allclose(s[0, 0, 0], expected)
+
+    @pytest.mark.parametrize("resistance", [10.0, 200.0])
+    def test_s_to_z_resistor(self, resistance):
+        gamma = (resistance - 50.0) / (resistance + 50.0)
+        s = np.array([[[gamma + 0j]]])
+        z = s_to_z(s, 50.0)
+        assert np.allclose(z[0, 0, 0], resistance)
+
+    def test_matched_load_is_zero_reflection(self):
+        z = np.array([[[50.0 + 0j]]])
+        assert np.allclose(z_to_s(z, 50.0), 0.0)
+
+    def test_s_to_y_inverse_of_z(self):
+        gamma = 0.25
+        s = np.array([[[gamma + 0j]]])
+        y = s_to_y(s, 50.0)
+        z = s_to_z(s, 50.0)
+        assert np.allclose(y[0, 0, 0] * z[0, 0, 0], 1.0)
+
+
+class TestRoundTrips:
+    def test_s_y_s(self, rng):
+        s = random_passive_s(rng)
+        assert np.allclose(y_to_s(s_to_y(s, 50.0), 50.0), s)
+
+    def test_s_z_s(self, rng):
+        s = random_passive_s(rng)
+        assert np.allclose(z_to_s(s_to_z(s, 50.0), 50.0), s)
+
+    def test_y_z_y(self, rng):
+        s = random_passive_s(rng)
+        y = s_to_y(s, 50.0)
+        assert np.allclose(z_to_y(y_to_z(y)), y)
+
+    def test_y_z_consistent_with_s(self, rng):
+        s = random_passive_s(rng)
+        assert np.allclose(y_to_z(s_to_y(s, 50.0)), s_to_z(s, 50.0))
+
+    def test_nondefault_reference(self, rng):
+        s = random_passive_s(rng)
+        assert np.allclose(y_to_s(s_to_y(s, 75.0), 75.0), s)
+
+
+class TestRenormalization:
+    def test_identity_when_same_reference(self, rng):
+        s = random_passive_s(rng)
+        assert np.allclose(renormalize_s(s, 50.0, 50.0), s)
+
+    def test_roundtrip(self, rng):
+        s = random_passive_s(rng)
+        s75 = renormalize_s(s, 50.0, 75.0)
+        assert np.allclose(renormalize_s(s75, 75.0, 50.0), s)
+
+    def test_resistor_renormalized(self):
+        # R = 75 ohm is matched in a 75-ohm system.
+        s50 = np.array([[[(75.0 - 50.0) / (75.0 + 50.0) + 0j]]])
+        s75 = renormalize_s(s50, 50.0, 75.0)
+        assert np.allclose(s75, 0.0, atol=1e-12)
+
+    def test_invalid_reference(self, rng):
+        s = random_passive_s(rng)
+        with pytest.raises(ValueError):
+            renormalize_s(s, -50.0, 75.0)
+
+
+class TestSingularCases:
+    def test_ideal_open_s_to_z_raises(self):
+        # S = +I is an ideal open: Z does not exist.
+        s = np.eye(2)[None, :, :].astype(complex)
+        with pytest.raises(np.linalg.LinAlgError, match="singular"):
+            s_to_z(s)
+
+    def test_ideal_short_s_to_y_raises(self):
+        # S = -I is an ideal short: Y does not exist.
+        s = -np.eye(2)[None, :, :].astype(complex)
+        with pytest.raises(np.linalg.LinAlgError, match="singular"):
+            s_to_y(s)
+
+    def test_ideal_short_has_zero_impedance(self):
+        s = -np.eye(2)[None, :, :].astype(complex)
+        assert np.allclose(s_to_z(s), 0.0)
+
+    def test_ideal_open_has_zero_admittance(self):
+        s = np.eye(2)[None, :, :].astype(complex)
+        assert np.allclose(s_to_y(s), 0.0)

@@ -1,0 +1,102 @@
+"""Unit tests for the NetworkData container."""
+
+import numpy as np
+import pytest
+
+from repro.sparams.network import NetworkData
+
+
+def make_data(k=5, p=2, kind="s"):
+    f = np.linspace(1e3, 1e6, k)
+    rng = np.random.default_rng(0)
+    s = 0.1 * (rng.normal(size=(k, p, p)) + 1j * rng.normal(size=(k, p, p)))
+    return NetworkData(frequencies=f, samples=s, kind=kind)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        d = make_data(k=7, p=3)
+        assert d.n_ports == 3
+        assert d.n_frequencies == 7
+        assert d.kind == "s"
+        assert d.z0 == 50.0
+
+    def test_omega(self):
+        d = make_data()
+        assert np.allclose(d.omega, 2 * np.pi * d.frequencies)
+
+    def test_sample_count_mismatch(self):
+        with pytest.raises(ValueError, match="sample matrices"):
+            NetworkData(np.array([1.0, 2.0]), np.zeros((3, 2, 2)))
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            make_data(kind="h")
+
+    def test_invalid_z0(self):
+        f = np.array([1.0])
+        with pytest.raises(ValueError, match="z0"):
+            NetworkData(f, np.zeros((1, 1, 1)), z0=0.0)
+
+    def test_port_names_length(self):
+        f = np.array([1.0])
+        with pytest.raises(ValueError, match="port_names"):
+            NetworkData(f, np.zeros((1, 2, 2)), port_names=("a",))
+
+    def test_element_trace(self):
+        d = make_data(k=4, p=2)
+        assert np.array_equal(d.element(0, 1), d.samples[:, 0, 1])
+
+
+class TestSubsets:
+    def test_band(self):
+        d = make_data(k=10)
+        sub = d.band(2e5, 8e5)
+        assert sub.n_frequencies < d.n_frequencies
+        assert sub.frequencies.min() >= 2e5
+        assert sub.frequencies.max() <= 8e5
+
+    def test_empty_mask_raises(self):
+        d = make_data()
+        with pytest.raises(ValueError, match="no frequency"):
+            d.subset(np.zeros(d.n_frequencies, dtype=bool))
+
+    def test_without_dc(self):
+        f = np.array([0.0, 1.0, 2.0])
+        d = NetworkData(f, np.zeros((3, 1, 1)))
+        assert d.without_dc().frequencies[0] == 1.0
+
+    def test_without_dc_noop(self):
+        d = make_data()
+        assert d.without_dc().n_frequencies == d.n_frequencies
+
+    def test_with_samples(self):
+        d = make_data()
+        new = d.with_samples(np.zeros_like(d.samples), kind="y")
+        assert new.kind == "y"
+        assert np.all(new.samples == 0)
+
+
+class TestChecks:
+    def test_reciprocal_true(self):
+        d = make_data()
+        sym = d.with_samples(d.samples + np.transpose(d.samples, (0, 2, 1)))
+        assert sym.is_reciprocal()
+
+    def test_reciprocal_false(self):
+        k, p = 3, 2
+        s = np.zeros((k, p, p), dtype=complex)
+        s[:, 0, 1] = 1.0
+        d = NetworkData(np.arange(1.0, k + 1), s)
+        assert not d.is_reciprocal()
+
+    def test_passivity_metric_identity(self):
+        k = 4
+        s = np.stack([0.5 * np.eye(2)] * k).astype(complex)
+        d = NetworkData(np.arange(1.0, k + 1), s)
+        assert np.allclose(d.passivity_metric(), 0.5)
+
+    def test_passivity_metric_wrong_kind(self):
+        d = make_data(kind="y")
+        with pytest.raises(ValueError, match="scattering"):
+            d.passivity_metric()

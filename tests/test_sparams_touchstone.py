@@ -1,0 +1,138 @@
+"""Touchstone reader/writer tests: round trips, formats, v1 quirks."""
+
+import numpy as np
+import pytest
+
+from repro.sparams.network import NetworkData
+from repro.sparams.touchstone import read_touchstone, write_touchstone
+
+
+def make_data(k=5, p=3):
+    rng = np.random.default_rng(7)
+    f = np.linspace(1e6, 1e9, k)
+    s = 0.4 * (rng.normal(size=(k, p, p)) + 1j * rng.normal(size=(k, p, p)))
+    return NetworkData(frequencies=f, samples=s)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fmt", ["ri", "ma", "db"])
+    @pytest.mark.parametrize("ports", [1, 2, 3, 4])
+    def test_roundtrip_formats_and_ports(self, tmp_path, fmt, ports):
+        data = make_data(p=ports)
+        path = tmp_path / f"test.s{ports}p"
+        write_touchstone(data, path, fmt=fmt)
+        back = read_touchstone(path)
+        assert back.n_ports == ports
+        assert np.allclose(back.frequencies, data.frequencies)
+        assert np.allclose(back.samples, data.samples, atol=1e-9)
+
+    @pytest.mark.parametrize("unit", ["hz", "khz", "mhz", "ghz"])
+    def test_units(self, tmp_path, unit):
+        data = make_data(p=2)
+        path = tmp_path / "u.s2p"
+        write_touchstone(data, path, unit=unit)
+        back = read_touchstone(path)
+        assert np.allclose(back.frequencies, data.frequencies)
+
+    def test_suffix_autocorrected(self, tmp_path):
+        data = make_data(p=3)
+        path = tmp_path / "wrong.s2p"
+        write_touchstone(data, path)
+        assert (tmp_path / "wrong.s3p").exists()
+
+
+class TestParsing:
+    def test_two_port_column_major_quirk(self, tmp_path):
+        # Touchstone v1 two-port rows are f S11 S21 S12 S22.
+        content = "# HZ S RI R 50\n1.0 0.1 0 0.21 0 0.12 0 0.2 0\n"
+        path = tmp_path / "quirk.s2p"
+        path.write_text(content)
+        data = read_touchstone(path)
+        assert np.isclose(data.samples[0, 1, 0].real, 0.21)
+        assert np.isclose(data.samples[0, 0, 1].real, 0.12)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        content = (
+            "! leading comment\n\n# HZ S RI R 50\n"
+            "! another\n1.0 0.5 0.0 ! inline comment\n2.0 0.25 0.1\n"
+        )
+        path = tmp_path / "c.s1p"
+        path.write_text(content)
+        data = read_touchstone(path)
+        assert data.n_frequencies == 2
+        assert np.isclose(data.samples[1, 0, 0], 0.25 + 0.1j)
+
+    def test_default_option_line_is_ghz_ma(self, tmp_path):
+        path = tmp_path / "d.s1p"
+        path.write_text("#\n1.0 1.0 0.0\n")
+        data = read_touchstone(path)
+        assert np.isclose(data.frequencies[0], 1e9)
+
+    def test_reference_resistance_parsed(self, tmp_path):
+        path = tmp_path / "r.s1p"
+        path.write_text("# HZ S RI R 75\n1.0 0.5 0.0\n")
+        assert read_touchstone(path).z0 == 75.0
+
+    def test_frequency_sorting(self, tmp_path):
+        path = tmp_path / "s.s1p"
+        path.write_text("# HZ S RI R 50\n2.0 0.2 0\n1.0 0.1 0\n")
+        data = read_touchstone(path)
+        assert np.array_equal(data.frequencies, [1.0, 2.0])
+        assert np.isclose(data.samples[0, 0, 0].real, 0.1)
+
+    def test_wrapped_multiport_rows(self, tmp_path):
+        # 3-port data wrapped over several lines must reassemble.
+        data = make_data(k=2, p=3)
+        path = tmp_path / "w.s3p"
+        write_touchstone(data, path)
+        text = path.read_text()
+        assert any(line.startswith("  ") for line in text.splitlines())
+        back = read_touchstone(path)
+        assert np.allclose(back.samples, data.samples, atol=1e-9)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "e.s1p"
+        path.write_text("! nothing here\n")
+        with pytest.raises(ValueError, match="no data"):
+            read_touchstone(path)
+
+    def test_v2_keyword_rejected(self, tmp_path):
+        path = tmp_path / "v2.s1p"
+        path.write_text("[Version] 2.0\n# HZ S RI R 50\n1.0 0.1 0\n")
+        with pytest.raises(ValueError, match="v2"):
+            read_touchstone(path)
+
+    def test_inconsistent_layout_raises(self, tmp_path):
+        path = tmp_path / "bad.s2p"
+        path.write_text("# HZ S RI R 50\n1.0 0.1 0 0.2 0\n")
+        with pytest.raises(ValueError, match="inconsistent"):
+            read_touchstone(path)
+
+    def test_y_parameter_type(self, tmp_path):
+        path = tmp_path / "y.s1p"
+        path.write_text("# HZ Y RI R 50\n1.0 0.02 0.0\n")
+        assert read_touchstone(path).kind == "y"
+
+    def test_unsupported_type_raises(self, tmp_path):
+        path = tmp_path / "h.s1p"
+        path.write_text("# HZ H RI R 50\n1.0 0.02 0.0\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            read_touchstone(path)
+
+
+class TestWriterValidation:
+    def test_bad_format(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            write_touchstone(make_data(), tmp_path / "x.s3p", fmt="xx")
+
+    def test_bad_unit(self, tmp_path):
+        with pytest.raises(ValueError, match="unit"):
+            write_touchstone(make_data(), tmp_path / "x.s3p", unit="thz")
+
+    def test_pdn_data_roundtrip(self, tmp_path, coarse_testcase):
+        data = coarse_testcase.data
+        path = tmp_path / "pdn.s9p"
+        write_touchstone(data, path)
+        back = read_touchstone(path)
+        assert back.n_ports == data.n_ports
+        assert np.allclose(back.samples, data.samples, atol=1e-9)

@@ -1,0 +1,79 @@
+"""Hamiltonian passivity test: crossings must match singular-value sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.statespace.hamiltonian import (
+    hamiltonian_matrix,
+    imaginary_eigenvalue_frequencies,
+    is_passive_hamiltonian,
+)
+from repro.statespace.poleresidue import PoleResidueModel
+
+
+def bump_model(gain):
+    """SISO model whose |H| peaks near omega = 5 with peak ~ gain."""
+    poles = np.array([-0.5 + 5.0j, -0.5 - 5.0j])
+    r = gain * 0.5
+    residues = np.array([[[r]], [[r]]], dtype=complex)
+    return PoleResidueModel(poles, residues, np.zeros((1, 1)))
+
+
+class TestHamiltonianMatrix:
+    def test_shape(self):
+        ss = bump_model(0.5).to_state_space()
+        m = hamiltonian_matrix(ss)
+        assert m.shape == (4, 4)
+
+    def test_eigenvalue_symmetry(self):
+        """Hamiltonian spectra are symmetric about the imaginary axis."""
+        ss = bump_model(1.4).to_state_space()
+        eigs = np.linalg.eigvals(hamiltonian_matrix(ss))
+        for lam in eigs:
+            assert np.min(np.abs(eigs + np.conj(lam))) < 1e-8 * max(abs(lam), 1.0)
+
+    def test_gamma_equal_to_d_gain_rejected(self):
+        model = PoleResidueModel(
+            np.array([-1.0]), np.zeros((1, 1, 1), complex), np.array([[1.0]])
+        )
+        with pytest.raises(ValueError, match="singular value of D"):
+            hamiltonian_matrix(model.to_state_space(), gamma=1.0)
+
+
+class TestCrossings:
+    def test_passive_model_has_no_crossings(self):
+        ss = bump_model(0.8).to_state_space()
+        assert imaginary_eigenvalue_frequencies(ss).size == 0
+
+    def test_violating_model_has_crossings(self):
+        ss = bump_model(1.5).to_state_space()
+        crossings = imaginary_eigenvalue_frequencies(ss)
+        assert crossings.size == 2  # up-crossing and down-crossing
+
+    def test_crossings_match_svd_sweep(self):
+        ss = bump_model(1.5).to_state_space()
+        crossings = imaginary_eigenvalue_frequencies(ss)
+        for omega in crossings:
+            sigma = np.linalg.svd(ss.transfer_at(1j * omega), compute_uv=False)[0]
+            assert np.isclose(sigma, 1.0, atol=1e-6)
+
+    def test_violation_between_crossings(self):
+        ss = bump_model(1.5).to_state_space()
+        lo, hi = imaginary_eigenvalue_frequencies(ss)
+        mid = 0.5 * (lo + hi)
+        sigma = np.linalg.svd(ss.transfer_at(1j * mid), compute_uv=False)[0]
+        assert sigma > 1.0
+
+
+class TestVerdict:
+    def test_passive(self):
+        assert is_passive_hamiltonian(bump_model(0.8).to_state_space())
+
+    def test_not_passive(self):
+        assert not is_passive_hamiltonian(bump_model(1.5).to_state_space())
+
+    def test_d_gain_violation(self):
+        model = PoleResidueModel(
+            np.array([-1.0]), np.zeros((1, 1, 1), complex), np.array([[1.2]])
+        )
+        assert not is_passive_hamiltonian(model.to_state_space())

@@ -1,0 +1,150 @@
+"""PoleResidueModel: evaluation, realizations, perturbation round trips."""
+
+import numpy as np
+import pytest
+
+from repro.statespace.poleresidue import PoleResidueModel
+from tests.conftest import make_random_stable_model
+
+
+def simple_model():
+    poles = np.array([-2.0, -1.0 + 5.0j, -1.0 - 5.0j])
+    residues = np.zeros((3, 2, 2), dtype=complex)
+    residues[0] = [[1.0, 0.2], [0.2, 0.8]]
+    residues[1] = np.array([[0.5 + 0.1j, 0.0], [0.0, 0.3 - 0.2j]])
+    residues[2] = np.conj(residues[1])
+    const = np.array([[0.05, 0.0], [0.0, 0.05]])
+    return PoleResidueModel(poles, residues, const)
+
+
+class TestConstruction:
+    def test_basic_queries(self):
+        m = simple_model()
+        assert m.n_poles == 3
+        assert m.n_ports == 2
+        assert m.is_stable()
+        assert "order=3" in repr(m)
+
+    def test_unpaired_complex_pole_rejected(self):
+        with pytest.raises(ValueError, match="conjugate"):
+            PoleResidueModel(
+                np.array([-1.0 + 2.0j]),
+                np.zeros((1, 1, 1), dtype=complex),
+                np.zeros((1, 1)),
+            )
+
+    def test_wrong_pair_order_rejected(self):
+        poles = np.array([-1.0 - 2.0j, -1.0 + 2.0j])
+        with pytest.raises(ValueError, match="positive-"):
+            PoleResidueModel(poles, np.zeros((2, 1, 1), complex), np.zeros((1, 1)))
+
+    def test_mismatched_residue_pair_rejected(self):
+        poles = np.array([-1.0 + 2.0j, -1.0 - 2.0j])
+        residues = np.zeros((2, 1, 1), dtype=complex)
+        residues[0] = 1.0 + 1.0j
+        residues[1] = 1.0 + 1.0j  # should be the conjugate
+        with pytest.raises(ValueError, match="conjugates"):
+            PoleResidueModel(poles, residues, np.zeros((1, 1)))
+
+    def test_complex_residue_on_real_pole_rejected(self):
+        poles = np.array([-1.0])
+        residues = np.full((1, 1, 1), 1.0 + 0.5j)
+        with pytest.raises(ValueError, match="imaginary"):
+            PoleResidueModel(poles, residues, np.zeros((1, 1)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="residues"):
+            PoleResidueModel(
+                np.array([-1.0]), np.zeros((2, 1, 1), complex), np.zeros((1, 1))
+            )
+
+    def test_unstable_detected(self):
+        m = PoleResidueModel(
+            np.array([1.0]), np.ones((1, 1, 1), complex), np.zeros((1, 1))
+        )
+        assert not m.is_stable()
+
+
+class TestEvaluation:
+    def test_manual_sum(self):
+        m = simple_model()
+        s = np.array([1j * 3.0])
+        expected = (
+            m.residues[0] / (s[0] - m.poles[0])
+            + m.residues[1] / (s[0] - m.poles[1])
+            + m.residues[2] / (s[0] - m.poles[2])
+            + m.const
+        )
+        assert np.allclose(m.evaluate(s)[0], expected)
+
+    def test_response_is_conjugate_symmetric(self):
+        m = simple_model()
+        omega = np.array([2.0])
+        plus = m.frequency_response(omega)[0]
+        minus = m.evaluate(np.array([-2.0j]))[0]
+        assert np.allclose(minus, np.conj(plus))
+
+    def test_dc_value_is_real(self):
+        m = simple_model()
+        dc = m.frequency_response(np.array([0.0]))[0]
+        assert np.allclose(dc.imag, 0.0)
+
+
+class TestRealizations:
+    def test_full_state_space_matches_evaluation(self, rng):
+        m = make_random_stable_model(rng, n_real=2, n_pairs=3, n_ports=3)
+        ss = m.to_state_space()
+        assert ss.n_states == m.element_state_dimension() * 3
+        omega = np.geomspace(0.1, 50.0, 20)
+        assert np.allclose(
+            ss.frequency_response(omega), m.frequency_response(omega), atol=1e-10
+        )
+
+    def test_element_model_matches_entry(self, rng):
+        m = make_random_stable_model(rng, n_ports=2)
+        omega = np.geomspace(0.1, 40.0, 15)
+        for i in range(2):
+            for j in range(2):
+                elem = m.element_model(i, j)
+                assert np.allclose(
+                    elem.frequency_response(omega)[:, 0, 0],
+                    m.frequency_response(omega)[:, i, j],
+                    atol=1e-10,
+                )
+
+    def test_element_dynamics_eigenvalues_are_poles(self, rng):
+        m = make_random_stable_model(rng)
+        a_e, _ = m.element_dynamics()
+        eigs = np.sort_complex(np.linalg.eigvals(a_e))
+        assert np.allclose(eigs, np.sort_complex(m.poles), atol=1e-10)
+
+    def test_output_vector_roundtrip(self, rng):
+        m = make_random_stable_model(rng, n_ports=3)
+        c = m.element_output_vectors()
+        rebuilt = m.with_element_output_vectors(c)
+        assert np.allclose(rebuilt.residues, m.residues)
+        assert np.allclose(rebuilt.const, m.const)
+
+    def test_perturbation_changes_response_linearly(self, rng):
+        m = make_random_stable_model(rng, n_ports=2)
+        c = m.element_output_vectors()
+        delta = 1e-6 * rng.normal(size=c.shape)
+        perturbed = m.with_element_output_vectors(c + delta)
+        omega = np.array([1.0, 10.0])
+        base = m.frequency_response(omega)
+        diff1 = perturbed.frequency_response(omega) - base
+        perturbed2 = m.with_element_output_vectors(c + 2 * delta)
+        diff2 = perturbed2.frequency_response(omega) - base
+        assert np.allclose(diff2, 2 * diff1, rtol=1e-9)
+
+    def test_with_output_vectors_shape_checked(self, rng):
+        m = make_random_stable_model(rng)
+        with pytest.raises(ValueError, match="shape"):
+            m.with_element_output_vectors(np.zeros((1, 1, 1)))
+
+    def test_poles_and_const_preserved_under_perturbation(self, rng):
+        m = make_random_stable_model(rng)
+        c = m.element_output_vectors()
+        perturbed = m.with_element_output_vectors(c * 1.1)
+        assert np.allclose(perturbed.poles, m.poles)
+        assert np.allclose(perturbed.const, m.const)

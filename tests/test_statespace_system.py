@@ -1,0 +1,93 @@
+"""StateSpaceModel: responses, cascade, Gramians."""
+
+import numpy as np
+import pytest
+
+from repro.statespace.system import StateSpaceModel
+
+
+def siso(a, b, c, d):
+    return StateSpaceModel(
+        np.atleast_2d(a), np.atleast_2d(b).reshape(-1, 1),
+        np.atleast_2d(c).reshape(1, -1), np.array([[d]])
+    )
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            StateSpaceModel(np.zeros((2, 3)), np.zeros((2, 1)), np.zeros((1, 2)), np.zeros((1, 1)))
+        with pytest.raises(ValueError, match="B must"):
+            StateSpaceModel(np.zeros((2, 2)), np.zeros((3, 1)), np.zeros((1, 2)), np.zeros((1, 1)))
+        with pytest.raises(ValueError, match="C must"):
+            StateSpaceModel(np.zeros((2, 2)), np.zeros((2, 1)), np.zeros((1, 3)), np.zeros((1, 1)))
+        with pytest.raises(ValueError, match="D must"):
+            StateSpaceModel(np.zeros((2, 2)), np.zeros((2, 1)), np.zeros((1, 2)), np.zeros((2, 2)))
+
+    def test_static_system(self):
+        s = StateSpaceModel(np.zeros((0, 0)), np.zeros((0, 2)), np.zeros((2, 0)), np.eye(2))
+        assert s.n_states == 0
+        assert s.is_stable()
+        resp = s.frequency_response(np.array([1.0, 2.0]))
+        assert np.allclose(resp, np.eye(2))
+
+
+class TestResponses:
+    def test_first_order_lowpass(self):
+        # H(s) = 1/(s+1)
+        sys = siso(-1.0, 1.0, 1.0, 0.0)
+        omega = np.array([0.0, 1.0, 10.0])
+        h = sys.frequency_response(omega)[:, 0, 0]
+        assert np.allclose(h, 1.0 / (1j * omega + 1.0))
+
+    def test_transfer_at_complex_point(self):
+        sys = siso(-2.0, 1.0, 3.0, 0.5)
+        s0 = 1.0 + 2.0j
+        assert np.isclose(sys.transfer_at(s0)[0, 0], 3.0 / (s0 + 2.0) + 0.5)
+
+    def test_poles(self):
+        sys = siso(-3.0, 1.0, 1.0, 0.0)
+        assert np.allclose(sys.poles(), [-3.0])
+
+
+class TestSeries:
+    def test_cascade_is_product(self):
+        g1 = siso(-1.0, 1.0, 2.0, 0.1)
+        g2 = siso(-5.0, 1.0, 1.0, 0.3)
+        cascade = g1.series(g2)
+        omega = np.geomspace(0.01, 100.0, 17)
+        h1 = g1.frequency_response(omega)[:, 0, 0]
+        h2 = g2.frequency_response(omega)[:, 0, 0]
+        hc = cascade.frequency_response(omega)[:, 0, 0]
+        assert np.allclose(hc, h1 * h2, rtol=1e-10)
+
+    def test_cascade_state_count(self):
+        g1 = siso(-1.0, 1.0, 2.0, 0.1)
+        g2 = siso(-5.0, 1.0, 1.0, 0.3)
+        assert g1.series(g2).n_states == 2
+
+    def test_dimension_mismatch(self):
+        g1 = siso(-1.0, 1.0, 2.0, 0.1)
+        wide = StateSpaceModel(
+            np.array([[-1.0]]), np.ones((1, 2)), np.ones((2, 1)), np.zeros((2, 2))
+        )
+        with pytest.raises(ValueError, match="cascade"):
+            g1.series(wide)
+
+
+class TestGramiansAndNorms:
+    def test_h2_norm_first_order(self):
+        # ||1/(s+a)||_H2^2 = 1/(2a)
+        a = 3.0
+        sys = siso(-a, 1.0, 1.0, 0.0)
+        assert np.isclose(sys.h2_norm_squared(), 1.0 / (2 * a))
+
+    def test_gramian_value_first_order(self):
+        a = 2.0
+        sys = siso(-a, 1.0, 1.0, 0.0)
+        assert np.isclose(sys.controllability_gramian()[0, 0], 1.0 / (2 * a))
+
+    def test_observability_gramian(self):
+        a = 2.0
+        sys = siso(-a, 1.0, 3.0, 0.0)
+        assert np.isclose(sys.observability_gramian()[0, 0], 9.0 / (2 * a))

@@ -1,0 +1,146 @@
+"""Time-domain substrate: closed-loop assembly and transient simulation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.components import (
+    DieBlock,
+    OpenTermination,
+    ResistiveTermination,
+)
+from repro.pdn.termination import TerminationNetwork
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.timedomain.lti import close_loop
+from repro.timedomain.simulate import simulate_transient
+
+
+def resistor_model(resistance, z0=50.0):
+    """Static 1-port scattering model of a shunt resistor."""
+    gamma = (resistance - z0) / (resistance + z0)
+    return PoleResidueModel(
+        np.array([-1.0]),
+        np.zeros((1, 1, 1), dtype=complex),
+        np.array([[gamma]]),
+    )
+
+
+class TestClosedLoopStatics:
+    def test_dc_gain_parallel_resistors(self):
+        r_net, r_load = 100.0, 25.0
+        model = resistor_model(r_net)
+        net = TerminationNetwork(
+            terminations=[ResistiveTermination(r_load)],
+            excitations=np.array([1.0]),
+        )
+        loop = close_loop(model, net)
+        expected = r_net * r_load / (r_net + r_load)
+        assert np.isclose(loop.dc_gain()[0, 0], expected, rtol=1e-9)
+
+    def test_open_termination_dc_gain(self):
+        model = resistor_model(80.0)
+        net = TerminationNetwork(
+            terminations=[OpenTermination()], excitations=np.array([1.0])
+        )
+        loop = close_loop(model, net)
+        assert np.isclose(loop.dc_gain()[0, 0], 80.0, rtol=1e-9)
+
+    def test_frequency_response_matches_eq2(self, flow_result, testcase):
+        """Closed-loop transfer v(j w)/j == loaded impedance row (eq. 2)."""
+        from repro.sensitivity.zpdn import loaded_impedance_matrix
+
+        model = flow_result.weighted_enforced.model
+        loop = close_loop(model, testcase.termination)
+        omega = testcase.data.omega[[10, 60, 120]]
+        h = loop.system.frequency_response(omega)
+        z = loaded_impedance_matrix(
+            model.frequency_response(omega), omega, testcase.termination
+        )
+        assert np.allclose(h, z, rtol=1e-6, atol=1e-9)
+
+    def test_port_count_mismatch(self):
+        model = resistor_model(80.0)
+        with pytest.raises(ValueError, match="ports"):
+            close_loop(model, TerminationNetwork.all_open(3))
+
+
+class TestStability:
+    def test_passive_model_passive_load_stable(self, flow_result, testcase):
+        loop = close_loop(flow_result.weighted_enforced.model, testcase.termination)
+        assert loop.is_stable(tol=1e-3)
+
+    def test_standard_enforced_also_stable(self, flow_result, testcase):
+        loop = close_loop(flow_result.standard_enforced.model, testcase.termination)
+        assert loop.is_stable(tol=1e-3)
+
+
+class TestTransient:
+    def test_rc_step_response(self):
+        """Shunt-resistor model + die RC load: exact exponential charging."""
+        r_net = 1e9  # effectively open network resistance
+        r_die, c_die = 10.0, 1e-9
+        model = resistor_model(r_net)
+        net = TerminationNetwork(
+            terminations=[DieBlock(resistance=r_die, capacitance=c_die)],
+            excitations=np.array([1.0]),
+        )
+        tau = r_die * c_die  # charging time constant (v -> open-circuit)
+        result = simulate_transient(
+            model, net, t_end=5e-9, dt=1e-11, excitation=np.array([1.0])
+        )
+        # Initial value: current flows through R_die into C: v(0) = R_die.
+        assert np.isclose(result.droop(0)[0], r_die, rtol=1e-2)
+
+    def test_step_final_value_is_dc_impedance(self, flow_result, testcase):
+        model = flow_result.weighted_enforced.model
+        result = simulate_transient(
+            model, testcase.termination, t_end=2e-6, dt=5e-11
+        )
+        final = result.droop(testcase.observe_port)[-1]
+        z_dc = np.abs(flow_result.reference_impedance[0])
+        assert np.isclose(final, z_dc, rtol=0.25)
+
+    def test_bounded_response_for_passive_model(self, flow_result, testcase):
+        result = simulate_transient(
+            flow_result.weighted_enforced.model,
+            testcase.termination,
+            t_end=5e-7,
+            dt=5e-11,
+        )
+        assert np.all(np.isfinite(result.voltages))
+        assert np.abs(result.voltages).max() < 10.0
+
+    def test_excitation_callable(self, flow_result, testcase):
+        j0 = testcase.termination.source_vector()
+        result = simulate_transient(
+            flow_result.weighted_enforced.model,
+            testcase.termination,
+            t_end=1e-8,
+            dt=1e-10,
+            excitation=lambda t: j0 * (t > 5e-9),
+        )
+        assert np.allclose(result.voltages[0], 0.0)
+
+    def test_invalid_dt(self, flow_result, testcase):
+        with pytest.raises(ValueError, match="dt"):
+            simulate_transient(
+                flow_result.weighted_enforced.model,
+                testcase.termination,
+                t_end=1e-9,
+                dt=1e-8,
+            )
+
+    def test_missing_termination(self, flow_result):
+        with pytest.raises(ValueError, match="termination"):
+            simulate_transient(
+                flow_result.weighted_enforced.model, None, t_end=1e-9, dt=1e-10
+            )
+
+    def test_excitation_table_shape_checked(self, flow_result, testcase):
+        with pytest.raises(ValueError, match="excitation table"):
+            simulate_transient(
+                flow_result.weighted_enforced.model,
+                testcase.termination,
+                t_end=1e-9,
+                dt=1e-10,
+                excitation=np.ones((3, 9)),
+            )

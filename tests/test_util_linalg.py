@@ -1,0 +1,127 @@
+"""Unit tests for repro.util.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.util.linalg import (
+    hermitian_part,
+    is_stable_poles,
+    log_spaced_frequencies,
+    real_block_of_conjugate_pair,
+    solve_hermitian_psd,
+    unvec_columns,
+    vec_columns,
+)
+
+
+class TestVecColumns:
+    def test_column_stacking_order(self):
+        m = np.array([[1, 2], [3, 4]])
+        assert np.array_equal(vec_columns(m), [1, 3, 2, 4])
+
+    def test_rectangular(self):
+        m = np.arange(6).reshape(2, 3)
+        v = vec_columns(m)
+        assert v.shape == (6,)
+        assert np.array_equal(v, [0, 3, 1, 4, 2, 5])
+
+    def test_roundtrip(self):
+        m = np.random.default_rng(0).normal(size=(3, 5))
+        assert np.array_equal(unvec_columns(vec_columns(m), 3, 5), m)
+
+    def test_unvec_size_mismatch(self):
+        with pytest.raises(ValueError, match="cannot reshape"):
+            unvec_columns(np.zeros(5), 2, 3)
+
+
+class TestHermitianPart:
+    def test_already_hermitian(self):
+        m = np.array([[2.0, 1j], [-1j, 3.0]])
+        assert np.allclose(hermitian_part(m), m)
+
+    def test_result_is_hermitian(self):
+        m = np.random.default_rng(1).normal(size=(4, 4)) + 1j * np.random.default_rng(
+            2
+        ).normal(size=(4, 4))
+        h = hermitian_part(m)
+        assert np.allclose(h, h.conj().T)
+
+
+class TestSolveHermitianPsd:
+    def test_spd_solve(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(5, 5))
+        spd = a @ a.T + 5.0 * np.eye(5)
+        rhs = rng.normal(size=5)
+        x = solve_hermitian_psd(spd, rhs)
+        assert np.allclose(spd @ x, rhs)
+
+    def test_semidefinite_falls_back(self):
+        # Rank-1 PSD matrix: Cholesky fails, solver must still return
+        # something consistent in the least-squares sense.
+        v = np.array([1.0, 2.0])
+        psd = np.outer(v, v)
+        rhs = psd @ np.array([3.0, 1.0])
+        x = solve_hermitian_psd(psd, rhs)
+        assert np.allclose(psd @ x, rhs, atol=1e-8)
+
+    def test_regularization_keeps_solvable(self):
+        psd = np.diag([1.0, 0.0])
+        x = solve_hermitian_psd(psd, np.array([1.0, 0.0]), regularization=1e-8)
+        assert np.isfinite(x).all()
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            solve_hermitian_psd(np.zeros((2, 3)), np.zeros(2))
+
+
+class TestIsStablePoles:
+    def test_stable(self):
+        assert is_stable_poles(np.array([-1.0, -2.0 + 3j, -2.0 - 3j]))
+
+    def test_unstable(self):
+        assert not is_stable_poles(np.array([-1.0, 0.5]))
+
+    def test_marginal_is_unstable(self):
+        assert not is_stable_poles(np.array([0.0 + 1j]))
+
+
+class TestLogSpacedFrequencies:
+    def test_endpoints_exact(self):
+        f = log_spaced_frequencies(1e3, 2e9, 201)
+        assert f[0] == 1e3
+        assert f[-1] == 2e9
+        assert f.size == 201
+
+    def test_dc_point_prepended(self):
+        f = log_spaced_frequencies(1e3, 2e9, 201, include_dc=True)
+        assert f[0] == 0.0
+        assert f.size == 202
+
+    def test_strictly_increasing(self):
+        f = log_spaced_frequencies(10.0, 1e6, 50, include_dc=True)
+        assert np.all(np.diff(f) > 0)
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            log_spaced_frequencies(0.0, 1e6, 10)
+        with pytest.raises(ValueError):
+            log_spaced_frequencies(1e6, 1e3, 10)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            log_spaced_frequencies(1.0, 10.0, 1)
+
+
+class TestRealBlockOfConjugatePair:
+    def test_block_structure(self):
+        block = real_block_of_conjugate_pair(complex(-2.0, 5.0))
+        assert np.array_equal(block, [[-2.0, 5.0], [-5.0, -2.0]])
+
+    def test_eigenvalues_are_the_pair(self):
+        p = complex(-1.5, 3.0)
+        eigs = np.linalg.eigvals(real_block_of_conjugate_pair(p))
+        assert set(np.round(eigs, 10)) == {
+            np.round(p, 10),
+            np.round(np.conj(p), 10),
+        }

@@ -1,0 +1,35 @@
+"""Logging helpers."""
+
+import logging
+
+from repro.util.logging import enable_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespaced_under_package_root(self):
+        logger = get_logger("mymodule")
+        assert logger.name == "repro.mymodule"
+
+    def test_package_names_passed_through(self):
+        logger = get_logger("repro.vectfit.core")
+        assert logger.name == "repro.vectfit.core"
+
+    def test_hierarchy(self):
+        child = get_logger("repro.passivity.enforce")
+        root = logging.getLogger("repro")
+        assert child.parent is not None
+        assert child.name.startswith(root.name)
+
+
+class TestEnableConsoleLogging:
+    def test_adds_single_handler(self):
+        root = logging.getLogger("repro")
+        before = [h for h in root.handlers if isinstance(h, logging.StreamHandler)]
+        enable_console_logging()
+        enable_console_logging()  # idempotent
+        after = [h for h in root.handlers if isinstance(h, logging.StreamHandler)]
+        assert len(after) <= len(before) + 1
+
+    def test_level_applied(self):
+        enable_console_logging(logging.WARNING)
+        assert logging.getLogger("repro").level == logging.WARNING

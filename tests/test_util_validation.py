@@ -1,0 +1,61 @@
+"""Unit tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    ShapeError,
+    check_finite,
+    check_frequency_grid,
+    check_square_stack,
+)
+
+
+class TestCheckFinite:
+    def test_passes_finite(self):
+        a = check_finite(np.array([1.0, 2.0]), "a")
+        assert a.shape == (2,)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite(np.array([1.0, np.nan]), "a")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite(np.array([np.inf]), "a")
+
+
+class TestCheckFrequencyGrid:
+    def test_valid_grid(self):
+        f = check_frequency_grid([0.0, 1.0, 2.0])
+        assert f.dtype == float
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            check_frequency_grid(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            check_frequency_grid(np.zeros(0))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_frequency_grid([-1.0, 1.0])
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            check_frequency_grid([0.0, 1.0, 1.0])
+
+
+class TestCheckSquareStack:
+    def test_valid(self):
+        s = check_square_stack(np.zeros((5, 3, 3)), "s")
+        assert s.dtype == complex
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError, match="K, P, P"):
+            check_square_stack(np.zeros((3, 3)), "s")
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ShapeError, match="square"):
+            check_square_stack(np.zeros((5, 2, 3)), "s")

@@ -1,0 +1,200 @@
+"""Vector fitting: exact recovery, weighting behaviour, options, projection."""
+
+import numpy as np
+import pytest
+
+from repro.vectfit.core import (
+    canonicalize_poles,
+    flip_unstable_poles,
+    vector_fit,
+)
+from repro.vectfit.options import VFOptions
+from repro.vectfit.starting_poles import initial_poles
+from tests.conftest import make_random_stable_model
+
+
+class TestCanonicalizePoles:
+    def test_groups_pairs(self):
+        raw = np.array([-1.0 - 2.0j, -3.0, -1.0 + 2.0j])
+        out = canonicalize_poles(raw)
+        assert out[0] == -3.0
+        assert out[1] == -1.0 + 2.0j
+        assert out[2] == np.conj(out[1])
+
+    def test_near_real_snapped(self):
+        out = canonicalize_poles(np.array([-1.0 + 1e-14j]))
+        assert out[0].imag == 0.0
+
+    def test_exact_conjugacy_enforced(self):
+        raw = np.array([-1.0 + 2.0j, -1.0000001 - 1.9999999j])
+        out = canonicalize_poles(raw)
+        assert out[1] == np.conj(out[0]) or out[0] == np.conj(out[1])
+
+    def test_unpaired_demoted_to_real(self):
+        out = canonicalize_poles(np.array([-1.0 + 2.0j]))
+        assert out.size == 1
+        assert out[0].imag == 0.0
+
+
+class TestFlipUnstable:
+    def test_flips_positive_real_part(self):
+        out = flip_unstable_poles(np.array([1.0 + 2.0j, -3.0]))
+        assert np.all(out.real < 0)
+        assert out[0] == -1.0 + 2.0j
+
+    def test_zero_real_part_nudged(self):
+        out = flip_unstable_poles(np.array([0.0 + 5.0j]))
+        assert out[0].real < 0.0
+
+
+class TestInitialPoles:
+    def test_count_and_pairing(self):
+        p = initial_poles(np.geomspace(1.0, 1e6, 50), 6)
+        assert p.size == 6
+        assert np.all(p.real < 0)
+        assert np.allclose(p[0::2], np.conj(p[1::2]))
+
+    def test_odd_count_adds_real(self):
+        p = initial_poles(np.geomspace(1.0, 1e6, 50), 5)
+        assert np.sum(np.abs(p.imag) < 1e-12) == 1
+
+    def test_linear_spacing(self):
+        p = initial_poles(np.linspace(1.0, 100.0, 50), 4, spacing="linear")
+        assert p.size == 4
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError, match="spacing"):
+            initial_poles(np.geomspace(1, 10, 5), 2, spacing="sqrt")
+
+
+class TestExactRecovery:
+    def test_recover_random_model(self, rng):
+        truth = make_random_stable_model(rng, n_real=1, n_pairs=2, n_ports=2)
+        omega = np.geomspace(0.05, 100.0, 140)
+        data = truth.frequency_response(omega)
+        result = vector_fit(omega, data, options=VFOptions(n_poles=5))
+        assert result.rms_error < 1e-10
+        assert np.allclose(
+            np.sort_complex(result.model.poles),
+            np.sort_complex(truth.poles),
+            atol=1e-6,
+        )
+
+    def test_recovery_with_dc_point(self, rng):
+        truth = make_random_stable_model(rng, n_real=1, n_pairs=1, n_ports=1)
+        omega = np.concatenate([[0.0], np.geomspace(0.05, 50.0, 90)])
+        data = truth.frequency_response(omega)
+        result = vector_fit(omega, data, options=VFOptions(n_poles=3))
+        assert result.rms_error < 1e-9
+
+    def test_recovery_nonrelaxed(self, rng):
+        truth = make_random_stable_model(rng, n_real=1, n_pairs=1, n_ports=1)
+        omega = np.geomspace(0.05, 50.0, 90)
+        data = truth.frequency_response(omega)
+        result = vector_fit(
+            omega, data, options=VFOptions(n_poles=3, relaxed=False)
+        )
+        assert result.rms_error < 1e-8
+
+    def test_stability_enforced(self, testcase):
+        result = vector_fit(
+            testcase.data.omega,
+            testcase.data.samples,
+            options=VFOptions(n_poles=10),
+        )
+        assert result.model.is_stable()
+
+    def test_convergence_flag(self, rng):
+        truth = make_random_stable_model(rng, n_real=0, n_pairs=2, n_ports=1)
+        omega = np.geomspace(0.05, 100.0, 80)
+        data = truth.frequency_response(omega)
+        result = vector_fit(omega, data, options=VFOptions(n_poles=4))
+        assert result.converged
+        assert result.iterations < 20
+        assert len(result.pole_history) == result.iterations + 1
+
+
+class TestWeighting:
+    def test_weights_shift_error_distribution(self, testcase):
+        omega = testcase.data.omega
+        f = testcase.data.frequencies
+        samples = testcase.data.samples
+        low = f < 1e6
+        w = np.where(low, 100.0, 1.0)
+        plain = vector_fit(omega, samples, options=VFOptions(n_poles=10))
+        weighted = vector_fit(omega, samples, w, VFOptions(n_poles=10))
+        err_plain = np.abs(plain.model.frequency_response(omega) - samples)
+        err_weighted = np.abs(weighted.model.frequency_response(omega) - samples)
+        assert err_weighted[low].max() < err_plain[low].max()
+
+    def test_per_entry_weights_accepted(self, rng):
+        truth = make_random_stable_model(rng, n_ports=2)
+        omega = np.geomspace(0.05, 100.0, 60)
+        data = truth.frequency_response(omega)
+        weights = np.ones((60, 2, 2))
+        result = vector_fit(omega, data, weights, VFOptions(n_poles=5))
+        assert result.rms_error < 1e-8
+
+    def test_negative_weights_rejected(self, rng):
+        truth = make_random_stable_model(rng, n_ports=1)
+        omega = np.geomspace(0.1, 10.0, 30)
+        data = truth.frequency_response(omega)
+        with pytest.raises(ValueError, match="non-negative"):
+            vector_fit(omega, data, -np.ones(30))
+
+    def test_bad_weight_shape_rejected(self, rng):
+        truth = make_random_stable_model(rng, n_ports=1)
+        omega = np.geomspace(0.1, 10.0, 30)
+        data = truth.frequency_response(omega)
+        with pytest.raises(ValueError, match="weights"):
+            vector_fit(omega, data, np.ones(7))
+
+
+class TestAsymptoticProjection:
+    def test_d_projected_below_one(self, testcase):
+        result = vector_fit(
+            testcase.data.omega,
+            testcase.data.samples,
+            options=VFOptions(n_poles=12),
+        )
+        d_gain = np.linalg.svd(result.model.const, compute_uv=False)[0]
+        assert d_gain <= 1.0 - 1e-4 + 1e-12
+
+    def test_projection_disabled(self, rng):
+        # With margin 0 the constant term is the raw LS solution.
+        truth = make_random_stable_model(rng, n_ports=1)
+        omega = np.geomspace(0.05, 100.0, 60)
+        data = truth.frequency_response(omega) + 1.5  # push D above 1
+        result = vector_fit(
+            omega,
+            data,
+            options=VFOptions(n_poles=5, asymptotic_passivity_margin=0.0),
+        )
+        assert result.model.const[0, 0] > 1.0
+
+
+class TestValidation:
+    def test_order_vs_samples(self):
+        omega = np.geomspace(1.0, 10.0, 5)
+        data = np.zeros((5, 1, 1), dtype=complex)
+        with pytest.raises(ValueError, match="too high"):
+            vector_fit(omega, data, options=VFOptions(n_poles=20))
+
+    def test_initial_poles_count_checked(self, rng):
+        truth = make_random_stable_model(rng, n_ports=1)
+        omega = np.geomspace(0.1, 10.0, 30)
+        data = truth.frequency_response(omega)
+        with pytest.raises(ValueError, match="initial_poles"):
+            vector_fit(
+                omega,
+                data,
+                options=VFOptions(n_poles=4, initial_poles=np.array([-1.0])),
+            )
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            VFOptions(n_poles=0)
+        with pytest.raises(ValueError):
+            VFOptions(pole_convergence_tol=0.0)
+        with pytest.raises(ValueError):
+            VFOptions(asymptotic_passivity_margin=1.5)

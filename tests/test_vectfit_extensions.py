@@ -1,0 +1,100 @@
+"""Extensions: automatic order selection and DC-exact fitting."""
+
+import numpy as np
+import pytest
+
+from repro.vectfit.core import vector_fit
+from repro.vectfit.options import VFOptions
+from repro.vectfit.order_selection import select_model_order
+from tests.conftest import make_random_stable_model
+
+
+class TestOrderSelection:
+    def test_finds_true_order(self, rng):
+        truth = make_random_stable_model(rng, n_real=1, n_pairs=2, n_ports=2)
+        omega = np.geomspace(0.05, 100.0, 140)
+        data = truth.frequency_response(omega)
+        result = select_model_order(
+            omega, data, orders=[3, 5, 7], target_rms=1e-8
+        )
+        assert result.selected_order == 5
+        assert result.best.rms_error < 1e-8
+        assert len(result.candidates) == 2  # stops at 5
+
+    def test_stagnation_keeps_smaller_model(self, testcase):
+        # On noisy-ish PDN data the error saturates; the sweep must stop.
+        data = testcase.data
+        result = select_model_order(
+            data.omega,
+            data.samples,
+            orders=[8, 10, 12, 14, 16],
+            target_rms=1e-12,  # unreachable
+            stagnation_ratio=0.95,
+        )
+        assert result.selected_order <= 16
+        assert len(result.candidates) <= 5
+
+    def test_candidates_recorded_in_order(self, rng):
+        truth = make_random_stable_model(rng, n_ports=1)
+        omega = np.geomspace(0.05, 100.0, 100)
+        data = truth.frequency_response(omega)
+        result = select_model_order(omega, data, orders=[2, 4, 6], target_rms=1e-10)
+        orders = [c.n_poles for c in result.candidates]
+        assert orders == sorted(orders)
+
+    def test_validation(self, rng):
+        truth = make_random_stable_model(rng, n_ports=1)
+        omega = np.geomspace(0.05, 100.0, 60)
+        data = truth.frequency_response(omega)
+        with pytest.raises(ValueError, match="ascending"):
+            select_model_order(omega, data, orders=[6, 4])
+        with pytest.raises(ValueError, match="target_rms"):
+            select_model_order(omega, data, target_rms=0.0)
+
+
+class TestDCExact:
+    def test_dc_interpolated_exactly(self, testcase):
+        data = testcase.data
+        result = vector_fit(
+            data.omega,
+            data.samples,
+            options=VFOptions(n_poles=12, dc_exact=True),
+        )
+        model_dc = result.model.frequency_response(np.array([0.0]))[0]
+        assert np.allclose(model_dc, data.samples[0].real, atol=1e-11)
+
+    def test_overall_fit_quality_retained(self, testcase):
+        data = testcase.data
+        plain = vector_fit(data.omega, data.samples, options=VFOptions(n_poles=12))
+        exact = vector_fit(
+            data.omega, data.samples, options=VFOptions(n_poles=12, dc_exact=True)
+        )
+        assert exact.rms_error < 3 * plain.rms_error
+
+    def test_requires_dc_sample(self, rng):
+        truth = make_random_stable_model(rng, n_ports=1)
+        omega = np.geomspace(0.1, 10.0, 40)  # no DC point
+        data = truth.frequency_response(omega)
+        with pytest.raises(ValueError, match="DC sample"):
+            vector_fit(omega, data, options=VFOptions(n_poles=4, dc_exact=True))
+
+    def test_requires_fit_const(self):
+        with pytest.raises(ValueError, match="fit_const"):
+            VFOptions(dc_exact=True, fit_const=False)
+
+    def test_dc_exact_improves_dc_impedance(self, testcase):
+        """The point of the feature: exact DC loaded impedance."""
+        from repro.sensitivity.zpdn import target_impedance, target_impedance_of_model
+
+        data = testcase.data
+        zref = target_impedance(
+            data.samples, data.omega, testcase.termination, testcase.observe_port
+        )
+        exact = vector_fit(
+            data.omega, data.samples, options=VFOptions(n_poles=12, dc_exact=True)
+        )
+        z_model = target_impedance_of_model(
+            exact.model, data.omega, testcase.termination, testcase.observe_port
+        )
+        rel_dc = abs(z_model[0] - zref[0]) / abs(zref[0])
+        assert rel_dc < 1e-6

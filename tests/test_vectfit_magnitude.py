@@ -1,0 +1,98 @@
+"""Magnitude Vector Fitting: recovery, minimum phase, robustness."""
+
+import numpy as np
+import pytest
+
+from repro.statespace.system import StateSpaceModel
+from repro.vectfit.magnitude import fit_magnitude
+
+
+def siso_magnitude(poles, residues, d, omega):
+    h = np.full(omega.size, d, dtype=complex)
+    for p, r in zip(poles, residues):
+        h += r / (1j * omega - p)
+    return np.abs(h)
+
+
+class TestExactRecovery:
+    def test_two_pole_magnitude(self):
+        omega = np.geomspace(0.01, 100.0, 120)
+        mag = siso_magnitude([-2.0, -30.0], [1.0, 0.5], 0.01, omega)
+        result = fit_magnitude(omega, mag, n_poles=2)
+        assert result.rms_db_error < 1e-6
+        assert result.max_db_error < 1e-5
+
+    def test_overfit_order_still_accurate(self):
+        omega = np.geomspace(0.01, 100.0, 120)
+        mag = siso_magnitude([-2.0, -30.0], [1.0, 0.5], 0.01, omega)
+        result = fit_magnitude(omega, mag, n_poles=4)
+        assert result.rms_db_error < 1e-4
+
+    def test_model_is_stable_and_minimum_phase(self):
+        omega = np.geomspace(0.01, 100.0, 120)
+        mag = siso_magnitude([-1.0, -10.0], [2.0, -0.5], 0.05, omega)
+        result = fit_magnitude(omega, mag, n_poles=3)
+        assert result.model.is_stable()
+        assert np.all(result.poles.real < 0)
+        assert np.all(result.zeros.real <= 1e-9)
+
+    def test_magnitude_response_matches(self):
+        omega = np.geomspace(0.01, 100.0, 120)
+        mag = siso_magnitude([-2.0], [1.0], 0.02, omega)
+        result = fit_magnitude(omega, mag, n_poles=1)
+        response = np.abs(result.model.frequency_response(omega)[:, 0, 0])
+        assert np.allclose(response, mag, rtol=1e-6)
+
+    def test_wide_dynamic_range_ghz_scale(self):
+        """The PDN regime: rad/s up to 1e10, magnitudes over 3+ decades."""
+        omega = 2 * np.pi * np.geomspace(1e3, 2e9, 150)
+        mag = siso_magnitude([-1e6, -1e9], [5e5, 2e8], 0.003, omega)
+        result = fit_magnitude(omega, mag, n_poles=2)
+        assert result.rms_db_error < 1e-3
+
+
+class TestWeightingModes:
+    def test_unit_weighting(self):
+        omega = np.geomspace(0.01, 100.0, 100)
+        mag = siso_magnitude([-2.0], [1.0], 0.05, omega)
+        result = fit_magnitude(omega, mag, n_poles=1, weighting="unit")
+        assert result.rms_db_error < 1e-5
+
+    def test_unknown_weighting(self):
+        omega = np.geomspace(0.01, 100.0, 100)
+        with pytest.raises(ValueError, match="weighting"):
+            fit_magnitude(omega, np.ones(100), n_poles=1, weighting="xx")
+
+
+class TestRobustness:
+    def test_dc_sample_allowed(self):
+        omega = np.concatenate([[0.0], np.geomspace(0.01, 100.0, 100)])
+        mag = siso_magnitude([-2.0], [1.0], 0.05, omega)
+        result = fit_magnitude(omega, mag, n_poles=1)
+        assert result.rms_db_error < 1e-4
+
+    def test_gain_is_asymptotic_value(self):
+        omega = np.geomspace(0.01, 1000.0, 150)
+        d = 0.07
+        mag = siso_magnitude([-2.0], [1.0], d, omega)
+        result = fit_magnitude(omega, mag, n_poles=1)
+        assert np.isclose(result.gain, d, rtol=1e-3)
+
+    def test_validation_errors(self):
+        omega = np.geomspace(0.01, 100.0, 50)
+        with pytest.raises(ValueError, match="shape"):
+            fit_magnitude(omega, np.ones(10), n_poles=2)
+        with pytest.raises(ValueError, match="non-negative"):
+            fit_magnitude(omega, -np.ones(50), n_poles=2)
+        with pytest.raises(ValueError, match="at least 1"):
+            fit_magnitude(omega, np.ones(50), n_poles=0)
+        with pytest.raises(ValueError, match="too few"):
+            fit_magnitude(omega[:4], np.ones(4), n_poles=4)
+        with pytest.raises(ValueError, match="zero"):
+            fit_magnitude(omega, np.zeros(50), n_poles=2)
+
+    def test_pdn_sensitivity_curve(self, flow_result):
+        """The actual sensitivity weight curve fits within a few dB RMS."""
+        fit = flow_result.weight_model.fit
+        assert fit.rms_db_error < 5.0
+        assert fit.model.is_stable()
