@@ -15,15 +15,33 @@ Public API tour
 * :mod:`repro.passivity` -- Hamiltonian passivity check and iterative
   enforcement (eqs. 8-10).
 * :mod:`repro.flow` -- the end-to-end pipeline (``MacromodelingFlow``).
+* :mod:`repro.campaign` -- parallel scenario-sweep orchestration with
+  content-addressed caching and an on-disk result registry.
 * :mod:`repro.timedomain` -- transient droop simulation of the loaded
   macromodel.
 """
 
-from repro.flow.macromodel import FlowOptions, FlowResult, MacromodelingFlow
+from repro.campaign import (
+    CampaignSpec,
+    FlowCache,
+    ScenarioSpec,
+    run_campaign,
+)
+from repro.flow.macromodel import (
+    FlowOptions,
+    FlowResult,
+    MacromodelingFlow,
+    run_flow,
+)
 from repro.passivity.check import check_passivity
 from repro.passivity.enforce import EnforcementOptions, enforce_passivity
 from repro.pdn.termination import TerminationNetwork
-from repro.pdn.testcase import PDNTestCase, make_paper_testcase
+from repro.pdn.testcase import (
+    PDNTestCase,
+    make_paper_testcase,
+    make_variant_testcase,
+    perturb_termination,
+)
 from repro.sensitivity.firstorder import (
     sensitivity_analytic,
     sensitivity_monte_carlo,
@@ -38,15 +56,22 @@ from repro.vectfit.options import VFOptions
 __version__ = "0.1.0"
 
 __all__ = [
+    "CampaignSpec",
+    "FlowCache",
+    "ScenarioSpec",
+    "run_campaign",
     "FlowOptions",
     "FlowResult",
     "MacromodelingFlow",
+    "run_flow",
     "check_passivity",
     "EnforcementOptions",
     "enforce_passivity",
     "TerminationNetwork",
     "PDNTestCase",
     "make_paper_testcase",
+    "make_variant_testcase",
+    "perturb_termination",
     "sensitivity_analytic",
     "sensitivity_monte_carlo",
     "target_impedance",

@@ -1,0 +1,131 @@
+"""Content-addressed cache of completed flow runs.
+
+The cache key is a SHA-256 over everything that determines a flow result:
+the raw tabulated scattering data (frequency grid, sample matrices, the
+reference resistance), the termination network, the observation port, and
+the full flow configuration.  Two campaign runs that resolve to the same
+inputs therefore share one cache entry even if their scenario *names*
+differ, and any change to the data or options is guaranteed to miss.
+
+Each entry is a single JSON file written through
+:mod:`repro.statespace.serialization`: the passive (weighted-cost) model is
+the payload and the run record (metrics, diagnostics, scenario parameters)
+rides along as model metadata.  Writes are atomic (temp file + rename), so
+concurrent workers computing the same key can race harmlessly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.flow.macromodel import FlowOptions
+from repro.pdn.spec import termination_to_dict
+from repro.pdn.termination import TerminationNetwork
+from repro.sparams.network import NetworkData
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.statespace.serialization import (
+    load_model_with_metadata,
+    sanitize_metadata,
+    save_model,
+)
+
+_KEY_FORMAT = "repro.flow-cache/1"
+
+
+def _options_token(options: FlowOptions) -> str:
+    payload = sanitize_metadata(dataclasses.asdict(options))
+    return json.dumps(payload, sort_keys=True)
+
+
+def flow_fingerprint(
+    data: NetworkData,
+    termination: TerminationNetwork,
+    observe_port: int,
+    options: FlowOptions | None = None,
+) -> str:
+    """Hex digest identifying one flow computation by content."""
+    options = options or FlowOptions()
+    hasher = hashlib.sha256()
+    hasher.update(_KEY_FORMAT.encode())
+    hasher.update(data.kind.encode())
+    hasher.update(np.float64(data.z0).tobytes())
+    hasher.update(np.ascontiguousarray(data.frequencies, dtype=float).tobytes())
+    hasher.update(np.ascontiguousarray(data.samples, dtype=complex).tobytes())
+    hasher.update(json.dumps(termination_to_dict(termination),
+                             sort_keys=True).encode())
+    hasher.update(np.int64(observe_port).tobytes())
+    hasher.update(_options_token(options).encode())
+    return hasher.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class CachedRun:
+    """One cache entry: the passive model plus the stored run record."""
+
+    key: str
+    model: PoleResidueModel
+    record: dict
+
+
+class FlowCache:
+    """Directory-backed content-addressed store of flow results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directory listings manageable at scale.
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> CachedRun | None:
+        """Look up an entry; ``None`` on miss or unreadable entry."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            model, metadata = load_model_with_metadata(path)
+        except (ValueError, json.JSONDecodeError, OSError):
+            # A corrupt entry (interrupted write of an older, non-atomic
+            # producer) behaves like a miss and is overwritten on put.
+            return None
+        return CachedRun(key=key, model=model, record=metadata)
+
+    def put(self, key: str, model: PoleResidueModel, record: dict) -> None:
+        """Store an entry atomically under its content key."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        os.close(fd)
+        try:
+            save_model(model, tmp_name, metadata=record)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,373 @@
+"""Parallel campaign execution.
+
+The unit of work is :func:`execute_scenario`: a module-level function (so
+it pickles to :class:`~concurrent.futures.ProcessPoolExecutor` workers)
+that builds the scenario's PDN variant, consults the content-addressed
+cache, runs the sensitivity-weighted flow on a miss, and returns a plain
+JSON-compatible run record plus the passive model.
+
+Failure isolation is two-layered: the worker converts any exception into a
+``status="failed"`` record (one diverging scenario never aborts the
+campaign), and the dispatcher additionally guards ``future.result()`` so
+even a crashed worker process only fails its own scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.campaign.cache import FlowCache, flow_fingerprint
+from repro.campaign.registry import CampaignRegistry
+from repro.campaign.scenario import CampaignSpec, ScenarioSpec
+from repro.flow.macromodel import run_flow
+from repro.flow.metrics import flow_accuracy_rows
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.util.logging import enable_console_logging, get_logger
+
+_LOG = get_logger(__name__)
+
+_HEADLINE_ROWS = {
+    "passive, standard cost": "standard_cost",
+    "passive, weighted cost": "weighted_cost",
+}
+
+
+def default_jobs() -> int:
+    """Default worker count: the machine's cores, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _accuracy_table(rows) -> list[dict]:
+    return [
+        {
+            "label": row.label,
+            "rms_scattering": row.rms_scattering,
+            "max_scattering": row.max_scattering,
+            "max_rel_impedance": row.max_rel_impedance,
+            "low_band_rel_impedance": row.low_band_rel_impedance,
+            "is_passive": row.is_passive,
+        }
+        for row in rows
+    ]
+
+
+def _headline_metrics(table: list[dict], result) -> dict:
+    metrics: dict = {}
+    for row in table:
+        suffix = _HEADLINE_ROWS.get(row["label"])
+        if suffix is None:
+            continue
+        metrics[f"max_rel_impedance_{suffix}"] = row["max_rel_impedance"]
+        metrics[f"low_band_rel_impedance_{suffix}"] = (
+            row["low_band_rel_impedance"]
+        )
+        metrics[f"passive_{suffix}"] = row["is_passive"]
+    metrics["rms_scattering_weighted_fit"] = float(
+        result.weighted_fit.rms_error
+    )
+    metrics["worst_sigma_before_enforcement"] = float(
+        result.pre_enforcement_report.worst_sigma
+    )
+    metrics["enforcement_iterations_weighted_cost"] = int(
+        result.weighted_enforced.iterations
+    )
+    metrics["enforcement_converged_weighted_cost"] = bool(
+        result.weighted_enforced.converged
+    )
+    return metrics
+
+
+def execute_scenario(
+    scenario: ScenarioSpec,
+    cache_dir: str | None = None,
+) -> tuple[dict, PoleResidueModel | None]:
+    """Run one scenario end-to-end; never raises.
+
+    Returns ``(record, model)`` where ``record`` is JSON-compatible and
+    ``model`` is the passive weighted-cost macromodel (``None`` when the
+    scenario failed).
+    """
+    started = time.perf_counter()
+    record: dict = {
+        "run_id": scenario.run_id,
+        "name": scenario.name,
+        "scenario": scenario.to_dict(),
+        "status": "failed",
+        "cache_hit": False,
+        "error": None,
+        "metrics": None,
+    }
+    try:
+        build_start = time.perf_counter()
+        testcase = scenario.build_testcase()
+        observe_port = scenario.resolve_observe_port(testcase)
+        options = scenario.flow_options()
+        build_s = time.perf_counter() - build_start
+
+        cache = FlowCache(cache_dir) if cache_dir else None
+        key = None
+        if cache is not None:
+            key = flow_fingerprint(
+                testcase.data, testcase.termination, observe_port, options
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                record.update(
+                    status="ok",
+                    cache_hit=True,
+                    metrics=cached.record.get("metrics"),
+                    accuracy_table=cached.record.get("accuracy_table"),
+                    timings={
+                        "testcase_s": build_s,
+                        "flow_s": 0.0,
+                        "total_s": time.perf_counter() - started,
+                    },
+                    cache_key=key,
+                )
+                _LOG.info("run %s: cache hit (%s)", record["run_id"], key[:12])
+                return record, cached.model
+
+        flow_start = time.perf_counter()
+        result = run_flow(testcase.data, testcase.termination,
+                          observe_port, options)
+        flow_s = time.perf_counter() - flow_start
+        rows = flow_accuracy_rows(
+            result, testcase.data, testcase.termination, observe_port
+        )
+        table = _accuracy_table(rows)
+        record.update(
+            status="ok",
+            metrics=_headline_metrics(table, result),
+            accuracy_table=table,
+            timings={
+                "testcase_s": build_s,
+                "flow_s": flow_s,
+                "total_s": time.perf_counter() - started,
+            },
+            cache_key=key,
+        )
+        model = result.weighted_enforced.model
+        if cache is not None and key is not None:
+            cache.put(key, model, record)
+        _LOG.info(
+            "run %s: ok in %.2fs (max relZ weighted cost %.4f)",
+            record["run_id"],
+            record["timings"]["total_s"],
+            record["metrics"]["max_rel_impedance_weighted_cost"],
+        )
+        return record, model
+    except Exception as exc:  # noqa: BLE001 -- isolation is the contract
+        record["error"] = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        record["traceback"] = traceback.format_exc()
+        record["timings"] = {"total_s": time.perf_counter() - started}
+        _LOG.warning("run %s: failed: %s", record["run_id"], record["error"])
+        return record, None
+    finally:
+        record["duration_s"] = time.perf_counter() - started
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    campaign: str
+    records: list[dict] = field(repr=False)
+    wall_time_s: float = 0.0
+    jobs: int = 1
+
+    def _count(self, **conditions) -> int:
+        return sum(
+            1
+            for record in self.records
+            if all(record.get(k) == v for k, v in conditions.items())
+        )
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_ok(self) -> int:
+        return self._count(status="ok")
+
+    @property
+    def n_failed(self) -> int:
+        return self._count(status="failed")
+
+    @property
+    def n_cache_hits(self) -> int:
+        return self._count(cache_hit=True)
+
+    @property
+    def n_resumed(self) -> int:
+        return self._count(resumed=True)
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.campaign!r}: {self.n_runs} runs, "
+            f"{self.n_ok} ok, {self.n_failed} failed, "
+            f"{self.n_cache_hits} cache hits, {self.n_resumed} resumed, "
+            f"{self.wall_time_s:.2f}s wall with {self.jobs} job(s)"
+        )
+
+
+def _worker_init(log_level: int | None) -> None:
+    if log_level is not None:
+        enable_console_logging(log_level)
+
+
+def run_campaign(
+    spec: CampaignSpec | list[ScenarioSpec],
+    *,
+    registry: CampaignRegistry | None = None,
+    cache: FlowCache | str | None = None,
+    scenarios: list[ScenarioSpec] | None = None,
+    jobs: int = 1,
+    resume: bool = False,
+    worker_log_level: int | None = None,
+    name: str | None = None,
+) -> CampaignResult:
+    """Execute a campaign: expand, (optionally) resume, dispatch, record.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`CampaignSpec` (expanded here) or a pre-built scenario
+        list.
+    scenarios:
+        Optional pre-expanded (e.g. filtered) scenario subset; when given
+        it is executed instead of ``spec.expand()`` while the manifest
+        still records the full spec.
+    registry:
+        Result store; run records, model artifacts and the manifest are
+        written as results arrive.  ``None`` disables persistence.
+    cache:
+        Content-addressed flow cache (or a path for one); ``None``
+        disables caching.
+    jobs:
+        Worker processes; ``1`` runs serially in-process (deterministic
+        ordering, easiest debugging), ``>1`` uses a process pool.
+    resume:
+        Skip scenarios whose run ID already has a successful record in the
+        registry; their stored records are returned with ``resumed=True``.
+    worker_log_level:
+        When set, worker processes attach a console log handler at this
+        level so per-run progress survives process boundaries.
+    """
+    if isinstance(spec, CampaignSpec):
+        campaign_name = name or spec.name
+        if scenarios is None:
+            scenarios = spec.expand()
+        campaign_info = spec.to_dict()
+    else:
+        campaign_name = name or "campaign"
+        scenarios = list(spec) if scenarios is None else list(scenarios)
+        campaign_info = {"name": campaign_name, "ad_hoc": True}
+
+    # Identical specs share a run ID; keep the first occurrence so the
+    # registry never sees two writers for one run directory.
+    unique: list[ScenarioSpec] = []
+    seen: set[str] = set()
+    for scenario in scenarios:
+        run_id = scenario.run_id
+        if run_id in seen:
+            _LOG.info("dropping duplicate scenario %s", run_id)
+            continue
+        seen.add(run_id)
+        unique.append(scenario)
+    scenarios = unique
+
+    cache_dir = None
+    if isinstance(cache, FlowCache):
+        cache_dir = str(cache.root)
+    elif cache is not None:
+        cache_dir = str(FlowCache(cache).root)
+
+    started = time.perf_counter()
+    by_id: dict[str, dict] = {}
+
+    todo: list[ScenarioSpec] = []
+    if resume and registry is not None:
+        completed = registry.completed_run_ids()
+        for scenario in scenarios:
+            if scenario.run_id in completed:
+                record = registry.load_result(scenario.run_id)
+                record["resumed"] = True
+                by_id[scenario.run_id] = record
+                _LOG.info("run %s: resumed from registry", scenario.run_id)
+            else:
+                todo.append(scenario)
+    else:
+        todo = scenarios
+
+    def _finish(record: dict, model: PoleResidueModel | None) -> None:
+        by_id[record["run_id"]] = record
+        if registry is not None:
+            registry.record_run(record, model)
+        done = len(by_id)
+        _LOG.info(
+            "[%d/%d] %s: %s%s",
+            done,
+            len(scenarios),
+            record["run_id"],
+            record["status"],
+            " (cache hit)" if record.get("cache_hit") else "",
+        )
+
+    if jobs <= 1 or len(todo) <= 1:
+        for scenario in todo:
+            _finish(*execute_scenario(scenario, cache_dir))
+    else:
+        max_workers = min(jobs, len(todo))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_worker_init,
+            initargs=(worker_log_level,),
+        ) as pool:
+            pending = {
+                pool.submit(execute_scenario, scenario, cache_dir): scenario
+                for scenario in todo
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    scenario = pending.pop(future)
+                    try:
+                        record, model = future.result()
+                    except Exception as exc:  # worker process died
+                        record = {
+                            "run_id": scenario.run_id,
+                            "name": scenario.name,
+                            "scenario": scenario.to_dict(),
+                            "status": "failed",
+                            "cache_hit": False,
+                            "error": f"worker crashed: {exc!r}",
+                            "metrics": None,
+                            "duration_s": None,
+                        }
+                        model = None
+                    _finish(record, model)
+
+    records = [
+        by_id[scenario.run_id]
+        for scenario in scenarios
+        if scenario.run_id in by_id
+    ]
+    result = CampaignResult(
+        campaign=campaign_name,
+        records=records,
+        wall_time_s=time.perf_counter() - started,
+        jobs=jobs,
+    )
+    if registry is not None:
+        campaign_info = dict(campaign_info)
+        campaign_info.update(jobs=jobs, resume=resume)
+        registry.write_manifest(campaign_info, records)
+    _LOG.info("%s", result.summary())
+    return result

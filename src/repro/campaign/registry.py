@@ -1,0 +1,180 @@
+"""On-disk registry of campaign results.
+
+Layout (one directory per campaign)::
+
+    <root>/
+        manifest.json             # campaign spec + per-run index
+        runs/<run_id>/
+            result.json           # status, timings, metrics, scenario
+            model.json            # passive model + provenance metadata
+
+``result.json`` files are self-contained JSON records so the registry can
+be queried without loading any model artifacts; the model files round-trip
+through :mod:`repro.statespace.serialization` with the run record attached
+as metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.statespace.serialization import (
+    load_model_with_metadata,
+    sanitize_metadata,
+    save_model,
+)
+
+_MANIFEST_FORMAT = "repro.campaign-manifest"
+_MANIFEST_VERSION = 1
+
+_MANIFEST_RUN_FIELDS = (
+    "run_id", "name", "status", "cache_hit", "resumed", "duration_s", "error"
+)
+
+
+class CampaignRegistry:
+    """Result store rooted at one campaign directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record_run(
+        self, record: dict, model: PoleResidueModel | None = None
+    ) -> Path:
+        """Persist one run record (and its model artifact, if any)."""
+        run_id = record["run_id"]
+        run_dir = self.runs_dir / run_id
+        run_dir.mkdir(parents=True, exist_ok=True)
+        payload = sanitize_metadata(record)
+        (run_dir / "result.json").write_text(
+            json.dumps(payload, indent=1), encoding="utf-8"
+        )
+        if model is not None:
+            save_model(model, run_dir / "model.json", metadata=payload)
+        return run_dir
+
+    def write_manifest(self, campaign: dict, records: list[dict]) -> Path:
+        """Write the campaign-level index of all runs.
+
+        The index covers every run stored in the registry, not just the
+        current invocation's ``records``: a filtered or partial re-run
+        into the same registry must not orphan earlier runs from the
+        manifest.  The passed records overlay the stored ones so
+        invocation-level state (e.g. ``resumed``) is preserved.
+        """
+        index: dict[str, dict] = {}
+        for record in self.iter_results():
+            index[record["run_id"]] = {
+                key: record.get(key) for key in _MANIFEST_RUN_FIELDS
+            }
+        for record in records:
+            index[record["run_id"]] = {
+                key: record.get(key) for key in _MANIFEST_RUN_FIELDS
+            }
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "version": _MANIFEST_VERSION,
+            "written_unix": time.time(),
+            "campaign": sanitize_metadata(campaign),
+            "n_runs": len(index),
+            "runs": [index[run_id] for run_id in sorted(index)],
+        }
+        path = self.root / "manifest.json"
+        path.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+        return path
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load_manifest(self) -> dict:
+        path = self.root / "manifest.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("format") != _MANIFEST_FORMAT:
+            raise ValueError(f"{path}: not a {_MANIFEST_FORMAT} file")
+        if payload.get("version") != _MANIFEST_VERSION:
+            raise ValueError(
+                f"{path}: unsupported version {payload.get('version')!r}"
+            )
+        return payload
+
+    def has_result(self, run_id: str) -> bool:
+        return (self.runs_dir / run_id / "result.json").exists()
+
+    def load_result(self, run_id: str) -> dict:
+        path = self.runs_dir / run_id / "result.json"
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def load_model(self, run_id: str) -> tuple[PoleResidueModel, dict]:
+        """The stored passive model and its provenance metadata."""
+        return load_model_with_metadata(self.runs_dir / run_id / "model.json")
+
+    def iter_results(self) -> Iterator[dict]:
+        """All stored run records, in sorted run-ID order."""
+        for path in sorted(self.runs_dir.glob("*/result.json")):
+            yield json.loads(path.read_text(encoding="utf-8"))
+
+    def completed_run_ids(self) -> set[str]:
+        """Run IDs that finished successfully (resume skips these)."""
+        return {
+            record["run_id"]
+            for record in self.iter_results()
+            if record.get("status") == "ok"
+        }
+
+    # ------------------------------------------------------------------
+    # Queries / aggregation
+    # ------------------------------------------------------------------
+    def query(
+        self, predicate: Callable[[dict], bool] | None = None
+    ) -> list[dict]:
+        """Run records, optionally filtered by a predicate."""
+        results = self.iter_results()
+        if predicate is None:
+            return list(results)
+        return [record for record in results if predicate(record)]
+
+
+def metric_value(record: dict, metric: str) -> float | None:
+    """Fetch a numeric metric from a run record (``None`` when absent)."""
+    value = (record.get("metrics") or {}).get(metric)
+    return None if value is None else float(value)
+
+
+def worst_by_group(
+    records: list[dict],
+    group_key: Callable[[dict], object] | str,
+    metric: str,
+) -> dict:
+    """Worst (largest) value of a metric per group of runs.
+
+    ``group_key`` is either a callable on the record or the name of a
+    scenario parameter (e.g. ``"weight_mode"``).  Returns
+    ``{group: {"run_id": ..., "value": ...}}``; failed runs and runs
+    missing the metric are skipped.  The canonical use is the campaign
+    question "worst max-relative-Z error per weight mode".
+    """
+    if isinstance(group_key, str):
+        param = group_key
+
+        def key(record: dict):
+            return (record.get("scenario") or {}).get(param)
+    else:
+        key = group_key
+    worst: dict = {}
+    for record in records:
+        value = metric_value(record, metric)
+        if value is None:
+            continue
+        group = key(record)
+        if group not in worst or value > worst[group]["value"]:
+            worst[group] = {"run_id": record.get("run_id"), "value": value}
+    return worst

@@ -1,0 +1,104 @@
+"""Campaign-level reporting.
+
+Renders the per-run accuracy/passivity table and the aggregate views a
+power-integrity engineer actually asks for ("which weight mode has the
+worst loaded-impedance error anywhere in the sweep?"), reusing the same
+metric definitions as the single-run flow report in
+:mod:`repro.flow.metrics`.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.registry import worst_by_group
+
+
+def _fmt(value, width: int, precision: int = 4) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, bool):
+        return str(value).rjust(width)
+    return f"{value:{width}.{precision}f}"
+
+
+def campaign_table(records: list[dict]) -> str:
+    """One row per run: identity, headline metrics, timing, cache state."""
+    header = (
+        f"{'run':<42s} {'status':<7s} {'mode':<9s} {'poles':>5s} "
+        f"{'relZ std':>9s} {'relZ wtd':>9s} {'passive':>7s} "
+        f"{'time[s]':>8s} {'cache':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for record in records:
+        scenario = record.get("scenario") or {}
+        metrics = record.get("metrics") or {}
+        name = record.get("name") or record.get("run_id", "?")
+        if len(name) > 42:
+            name = name[:39] + "..."
+        duration = record.get("duration_s")
+        flags = []
+        if record.get("resumed"):
+            flags.append("resume")
+        elif record.get("cache_hit"):
+            flags.append("hit")
+        lines.append(
+            f"{name:<42s} {record.get('status', '?'):<7s} "
+            f"{scenario.get('weight_mode', '-'):<9s} "
+            f"{scenario.get('n_poles', '-')!s:>5s} "
+            f"{_fmt(metrics.get('max_rel_impedance_standard_cost'), 9)} "
+            f"{_fmt(metrics.get('max_rel_impedance_weighted_cost'), 9)} "
+            f"{str(bool(metrics.get('passive_weighted_cost'))):>7s} "
+            f"{_fmt(duration, 8, 2)} "
+            f"{','.join(flags) or '-':>6s}"
+        )
+    return "\n".join(lines)
+
+
+def worst_case_summary(
+    records: list[dict],
+    group_param: str = "weight_mode",
+    metric: str = "max_rel_impedance_weighted_cost",
+) -> str:
+    """Aggregate table: worst value of a metric per scenario-parameter
+    group (default: worst max-relative-Z error per weight mode)."""
+    worst = worst_by_group(records, group_param, metric)
+    if not worst:
+        return f"no successful runs with metric {metric!r}"
+    lines = [f"worst {metric} by {group_param}:"]
+    for group in sorted(worst, key=str):
+        entry = worst[group]
+        lines.append(
+            f"  {str(group):<12s} {entry['value']:10.4f}  ({entry['run_id']})"
+        )
+    return "\n".join(lines)
+
+
+def failure_summary(records: list[dict]) -> str:
+    """One line per failed run (empty string when everything passed)."""
+    failed = [r for r in records if r.get("status") == "failed"]
+    if not failed:
+        return ""
+    lines = [f"{len(failed)} failed run(s):"]
+    for record in failed:
+        lines.append(f"  {record.get('run_id', '?')}: {record.get('error')}")
+    return "\n".join(lines)
+
+
+def campaign_report(result) -> str:
+    """Full human-readable report of a campaign run.
+
+    ``result`` is a :class:`repro.campaign.executor.CampaignResult`.
+    """
+    sections = [
+        result.summary(),
+        "",
+        campaign_table(result.records),
+        "",
+        worst_case_summary(result.records),
+        worst_case_summary(
+            result.records, metric="low_band_rel_impedance_weighted_cost"
+        ),
+    ]
+    failures = failure_summary(result.records)
+    if failures:
+        sections += ["", failures]
+    return "\n".join(sections)

@@ -1,0 +1,264 @@
+"""Declarative scenario and campaign specifications.
+
+A :class:`ScenarioSpec` is one fully-determined flow run: which PDN variant
+to build (size, frequency grid, termination perturbation), which port to
+observe, and how to configure the macromodeling flow (poles, weight mode,
+enforcement budget).  A :class:`CampaignSpec` is a base scenario plus a set
+of parameter axes; :meth:`CampaignSpec.expand` takes the Cartesian product
+of the axes and yields one concrete scenario per grid point.
+
+Both are plain frozen dataclasses with JSON codecs, so campaign files can
+be version-controlled and scenarios shipped to worker processes by value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import re
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+
+from repro.flow.macromodel import FlowOptions
+from repro.passivity.enforce import EnforcementOptions
+from repro.pdn.testcase import PDNTestCase, make_variant_testcase
+from repro.vectfit.options import VFOptions
+
+_SPEC_FORMAT = "repro.campaign-spec"
+_SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One concrete run of the sensitivity-weighted flow.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label; campaign expansion appends the axis values.
+    size / n_frequencies / include_dc:
+        PDN test-case family and frequency grid
+        (:func:`repro.pdn.testcase.make_variant_testcase`).
+    decap_c_scale / decap_esr_scale / vrm_resistance / total_die_current:
+        Termination perturbation knobs.
+    observe_port:
+        Observation port; ``None`` selects the first die port.
+    n_poles / weight_mode / weight_floor / refinement_rounds /
+    weight_model_order / enforcement_max_iterations:
+        Flow configuration (:class:`repro.flow.macromodel.FlowOptions`).
+    """
+
+    name: str = "scenario"
+    size: str = "small"
+    n_frequencies: int = 201
+    include_dc: bool = True
+    decap_c_scale: float = 1.0
+    decap_esr_scale: float = 1.0
+    vrm_resistance: float | None = None
+    total_die_current: float | None = None
+    observe_port: int | None = None
+    n_poles: int = 12
+    weight_mode: str = "relative"
+    weight_floor: float = 0.01
+    refinement_rounds: int = 3
+    weight_model_order: int = 8
+    enforcement_max_iterations: int = 30
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+    def flow_options(self) -> FlowOptions:
+        """The flow configuration this scenario describes."""
+        return FlowOptions(
+            vf=VFOptions(n_poles=self.n_poles),
+            weight_mode=self.weight_mode,
+            weight_floor=self.weight_floor,
+            refinement_rounds=self.refinement_rounds,
+            weight_model_order=self.weight_model_order,
+            enforcement=EnforcementOptions(
+                max_iterations=self.enforcement_max_iterations
+            ),
+        )
+
+    def build_testcase(self) -> PDNTestCase:
+        """Materialize the PDN variant (deterministic for a given spec)."""
+        return make_variant_testcase(
+            self.size,
+            n_frequencies=self.n_frequencies,
+            include_dc=self.include_dc,
+            decap_c_scale=self.decap_c_scale,
+            decap_esr_scale=self.decap_esr_scale,
+            vrm_resistance=self.vrm_resistance,
+            total_die_current=self.total_die_current,
+        )
+
+    def resolve_observe_port(self, testcase: PDNTestCase) -> int:
+        return (
+            testcase.observe_port
+            if self.observe_port is None
+            else self.observe_port
+        )
+
+    # ------------------------------------------------------------------
+    # Identity and serialization
+    # ------------------------------------------------------------------
+    @property
+    def run_id(self) -> str:
+        """Deterministic identifier: slugified name + content digest.
+
+        Two specs with identical parameters always map to the same run ID,
+        which is what makes registry-level resume safe across processes and
+        sessions.
+        """
+        digest = hashlib.sha256(
+            json.dumps(self.to_dict(), sort_keys=True).encode()
+        ).hexdigest()
+        return f"{slugify(self.name)[:60]}-{digest[:10]}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario parameters: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+
+def slugify(name: str) -> str:
+    """Filesystem/ID-safe slug of a campaign or scenario name.
+
+    Used both for run IDs and for the registry directory derived from a
+    user-supplied campaign name, so a name like ``"../evil"`` can never
+    escape the chosen output directory.
+    """
+    slug = re.sub(r"[^a-zA-Z0-9._-]+", "-", name).strip("-")
+    if not slug or set(slug) <= {"."}:
+        return "run"
+    return slug
+
+
+def _axis_tag(key: str, value) -> str:
+    return f"{key}={value}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A base scenario plus parameter axes to sweep.
+
+    ``axes`` maps :class:`ScenarioSpec` field names to lists of values; the
+    expansion is the Cartesian product in sorted-key order, so the scenario
+    list is deterministic regardless of dict insertion order.  An axis with
+    an empty value list yields an empty campaign (useful as an explicit
+    "disabled" state in generated specs).
+    """
+
+    name: str = "campaign"
+    base: ScenarioSpec = ScenarioSpec()
+    axes: tuple[tuple[str, tuple], ...] = ()
+
+    @classmethod
+    def from_axes(
+        cls,
+        name: str,
+        base: ScenarioSpec | None = None,
+        axes: dict | None = None,
+    ) -> "CampaignSpec":
+        """Build a spec from a plain ``{field: [values...]}`` mapping."""
+        base = base or ScenarioSpec()
+        axes = axes or {}
+        known = {f.name for f in fields(ScenarioSpec)}
+        unknown = set(axes) - known
+        if unknown:
+            raise ValueError(f"unknown sweep axes: {sorted(unknown)}")
+        if "name" in axes:
+            raise ValueError("'name' cannot be a sweep axis")
+        normalized = tuple(
+            (key, tuple(axes[key])) for key in sorted(axes)
+        )
+        return cls(name=name, base=base, axes=normalized)
+
+    def expand(self) -> list[ScenarioSpec]:
+        """All concrete scenarios of the sweep (empty axes -> [base])."""
+        if not self.axes:
+            return [self.base]
+        keys = [key for key, _ in self.axes]
+        value_lists = [values for _, values in self.axes]
+        scenarios = []
+        for combo in itertools.product(*value_lists):
+            overrides = dict(zip(keys, combo))
+            tag = ",".join(_axis_tag(k, v) for k, v in overrides.items())
+            scenarios.append(
+                replace(self.base, name=f"{self.base.name}[{tag}]", **overrides)
+            )
+        return scenarios
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": _SPEC_FORMAT,
+            "version": _SPEC_VERSION,
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "axes": {key: list(values) for key, values in self.axes},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignSpec":
+        if payload.get("format", _SPEC_FORMAT) != _SPEC_FORMAT:
+            raise ValueError(f"not a {_SPEC_FORMAT} document")
+        if payload.get("version", _SPEC_VERSION) != _SPEC_VERSION:
+            raise ValueError(
+                f"unsupported campaign-spec version {payload.get('version')!r}"
+            )
+        base_payload = dict(payload.get("base", {}))
+        base_payload.setdefault("name", payload.get("name", "campaign"))
+        return cls.from_axes(
+            name=payload.get("name", "campaign"),
+            base=ScenarioSpec.from_dict(base_payload),
+            axes=payload.get("axes", {}),
+        )
+
+
+def save_campaign(spec: CampaignSpec, path: str | Path) -> None:
+    """Write a campaign spec as a JSON file."""
+    Path(path).write_text(
+        json.dumps(spec.to_dict(), indent=1), encoding="utf-8"
+    )
+
+
+def load_campaign(path: str | Path) -> CampaignSpec:
+    """Read a campaign spec written by :func:`save_campaign` (or by hand)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return CampaignSpec.from_dict(payload)
+    except ValueError as exc:  # includes json.JSONDecodeError
+        raise ValueError(f"{path}: {exc}") from exc
+
+
+def filter_scenarios(
+    scenarios: list[ScenarioSpec], pattern: str | None
+) -> list[ScenarioSpec]:
+    """Subset scenarios by name: glob when the pattern has wildcards,
+    substring match otherwise.
+
+    Only ``*`` and ``?`` trigger glob matching: expanded scenario names
+    always contain ``[axis=value]`` brackets, so treating ``[`` as a glob
+    character would make an exact copied name match nothing.
+    """
+    if not pattern:
+        return list(scenarios)
+    if "*" in pattern or "?" in pattern:
+        from fnmatch import fnmatchcase
+
+        # Escape '[' so bracketed axis tags in names match literally.
+        glob = pattern.replace("[", "[[]")
+        return [s for s in scenarios if fnmatchcase(s.name, glob)]
+    return [s for s in scenarios if pattern in s.name]

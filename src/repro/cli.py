@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the practical workflow:
+Four subcommands cover the practical workflow:
 
 ``testcase``
     Generate the canonical synthetic PDN: Touchstone data + termination
@@ -15,6 +15,14 @@ Three subcommands cover the practical workflow:
     sensitivity, weighted fit, both passivity enforcements, accuracy
     report, passive model JSON, and CSV series for plotting.
 
+``campaign``
+    Batch engine: expand a campaign spec (JSON) into a scenario grid, run
+    the flow on every scenario in parallel with content-addressed caching,
+    and write a result registry plus summary report.
+
+Global ``--verbose``/``--quiet`` flags control the package-wide structured
+logging (workers included); primary results still go to stdout.
+
 Examples
 --------
 ::
@@ -23,30 +31,28 @@ Examples
     python -m repro fit case/pdn.s9p --poles 12 --output-dir fit/
     python -m repro flow case/pdn.s9p --termination case/termination.json \\
         --observe-port 0 --output-dir flow/
+    python -m repro -v campaign sweep.json --jobs 4 --output-dir campaigns/
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from pathlib import Path
 
 import numpy as np
 
 from repro.flow.macromodel import FlowOptions, MacromodelingFlow
-from repro.flow.metrics import (
-    ModelAccuracyRow,
-    impedance_error_report,
-    max_relative_impedance_error,
-    max_scattering_error,
-    rms_scattering_error,
-)
+from repro.flow.metrics import flow_accuracy_rows, impedance_error_report
 from repro.passivity.check import check_passivity
 from repro.pdn.spec import load_termination, save_termination
 from repro.pdn.testcase import make_paper_testcase
 from repro.sensitivity.zpdn import target_impedance_of_model
 from repro.sparams.touchstone import read_touchstone, write_touchstone
 from repro.statespace.serialization import save_model
+from repro.util.logging import enable_console_logging
 from repro.vectfit.core import vector_fit
 from repro.vectfit.options import VFOptions
 
@@ -112,31 +118,10 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 
     save_model(result.weighted_enforced.model, out / "passive_model.json")
     omega = data.omega
-    rows = []
-    variants = [
-        ("standard VF", result.standard_fit.model),
-        ("weighted VF (non-passive)", result.weighted_fit.model),
-        ("passive, standard cost", result.standard_enforced.model),
-        ("passive, weighted cost", result.weighted_enforced.model),
-    ]
-    low_band = (0.0, 2 * np.pi * args.low_band_hz)
-    for label, model in variants:
-        rows.append(
-            ModelAccuracyRow(
-                label=label,
-                rms_scattering=rms_scattering_error(model, omega, data.samples),
-                max_scattering=max_scattering_error(model, omega, data.samples),
-                max_rel_impedance=max_relative_impedance_error(
-                    model, omega, result.reference_impedance, termination,
-                    args.observe_port,
-                ),
-                low_band_rel_impedance=max_relative_impedance_error(
-                    model, omega, result.reference_impedance, termination,
-                    args.observe_port, band=low_band,
-                ),
-                is_passive=check_passivity(model).is_passive,
-            )
-        )
+    rows = flow_accuracy_rows(
+        result, data, termination, args.observe_port,
+        low_band_hz=args.low_band_hz,
+    )
     report = impedance_error_report(rows)
     (out / "flow_report.txt").write_text(report + "\n", encoding="utf-8")
     print(report)
@@ -165,16 +150,95 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignRegistry,
+        FlowCache,
+        campaign_report,
+        default_jobs,
+        filter_scenarios,
+        load_campaign,
+        run_campaign,
+        slugify,
+    )
+
+    try:
+        spec = load_campaign(args.spec)
+    except (OSError, ValueError) as exc:
+        # ValueError covers bad schema/axes and json.JSONDecodeError.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scenarios = filter_scenarios(spec.expand(), args.filter)
+    if not scenarios:
+        print(
+            f"campaign {spec.name!r}: no scenarios"
+            + (f" match filter {args.filter!r}" if args.filter else
+               " (empty grid)")
+        )
+        return 0
+
+    if args.dry_run:
+        print(f"campaign {spec.name!r}: {len(scenarios)} scenario(s)")
+        for scenario in scenarios:
+            print(f"  {scenario.run_id}  {scenario.name}")
+        return 0
+
+    out = Path(args.output_dir) / slugify(spec.name)
+    registry = CampaignRegistry(out)
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or (Path(args.output_dir) / "cache")
+        cache = FlowCache(cache_dir)
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    result = run_campaign(
+        spec,
+        scenarios=scenarios,
+        registry=registry,
+        cache=cache,
+        jobs=jobs,
+        resume=args.resume,
+        worker_log_level=_log_level(args),
+    )
+    report = campaign_report(result)
+    (out / "report.txt").write_text(report + "\n", encoding="utf-8")
+    print(report)
+    print(f"registry      : {out}")
+    if cache is not None:
+        print(f"cache         : {cache.root} ({len(cache)} entries)")
+    return 0 if result.n_failed == 0 else 3
+
+
+def _log_level(args: argparse.Namespace) -> int | None:
+    if getattr(args, "quiet", False):
+        return logging.ERROR
+    verbose = getattr(args, "verbose", 0)
+    if verbose >= 2:
+        return logging.DEBUG
+    if verbose == 1:
+        return logging.INFO
+    return None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Sensitivity-weighted passivity enforcement for PDN "
         "macromodels (Ubolli et al., DATE 2014)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable structured progress logging (-vv for debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_case = sub.add_parser("testcase", help="generate the synthetic PDN test case")
-    p_case.add_argument("--size", choices=["small", "large"], default="small")
+    p_case.add_argument("--size", choices=["small", "medium", "large"],
+                        default="small")
     p_case.add_argument("--output-dir", default="testcase")
     p_case.set_defaults(func=_cmd_testcase)
 
@@ -197,6 +261,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--low-band-hz", type=float, default=1e6)
     p_flow.add_argument("--output-dir", default="flow")
     p_flow.set_defaults(func=_cmd_flow)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a parameter-sweep campaign of flow runs",
+        description="Expand a campaign spec (JSON: base scenario + sweep "
+        "axes) into a scenario grid and run the full pipeline on every "
+        "scenario, in parallel, with content-addressed caching and an "
+        "on-disk result registry.",
+    )
+    p_camp.add_argument("spec", help="campaign spec JSON file")
+    p_camp.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: CPU count, capped at 8; "
+        "1 = serial in-process)",
+    )
+    p_camp.add_argument(
+        "--resume", action="store_true",
+        help="skip scenarios already completed in the registry",
+    )
+    p_camp.add_argument(
+        "--filter", default=None,
+        help="only run scenarios whose name matches (substring or glob)",
+    )
+    p_camp.add_argument(
+        "--dry-run", action="store_true",
+        help="list the expanded scenarios without running anything",
+    )
+    p_camp.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed flow cache",
+    )
+    p_camp.add_argument(
+        "--cache-dir", default=None,
+        help="cache location (default: <output-dir>/cache, shared "
+        "across campaigns)",
+    )
+    p_camp.add_argument("--output-dir", default="campaigns")
+    p_camp.set_defaults(func=_cmd_campaign)
     return parser
 
 
@@ -204,6 +306,9 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    level = _log_level(args)
+    if level is not None:
+        enable_console_logging(level)
     return args.func(args)
 
 

@@ -262,3 +262,18 @@ class MacromodelingFlow:
             standard_enforced=standard_enforced,
             weighted_enforced=weighted_enforced,
         )
+
+
+def run_flow(
+    data: NetworkData,
+    termination: TerminationNetwork,
+    observe_port: int,
+    options: FlowOptions | None = None,
+) -> FlowResult:
+    """Pure functional entry point to the full pipeline.
+
+    Module-level (hence picklable) so campaign workers can ship it to
+    subprocesses; all state lives in the arguments, which are themselves
+    plain-data containers.
+    """
+    return MacromodelingFlow(options).run(data, termination, observe_port)

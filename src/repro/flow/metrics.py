@@ -91,6 +91,52 @@ class ModelAccuracyRow:
         )
 
 
+def flow_accuracy_rows(
+    result,
+    data,
+    termination: TerminationNetwork,
+    observe_port: int,
+    *,
+    low_band_hz: float = 1e6,
+) -> list[ModelAccuracyRow]:
+    """Accuracy rows for the four model variants of a flow run.
+
+    ``result`` is a :class:`repro.flow.macromodel.FlowResult`; the order of
+    rows matches the paper's Fig. 5 comparison (standard fit, weighted fit,
+    and the two enforced models).  Shared by the CLI ``flow`` command and
+    the campaign executor so every surface reports identical numbers.
+    """
+    from repro.passivity.check import check_passivity
+
+    omega = data.omega
+    low_band = (0.0, 2.0 * np.pi * low_band_hz)
+    variants = [
+        ("standard VF", result.standard_fit.model),
+        ("weighted VF (non-passive)", result.weighted_fit.model),
+        ("passive, standard cost", result.standard_enforced.model),
+        ("passive, weighted cost", result.weighted_enforced.model),
+    ]
+    rows = []
+    for label, model in variants:
+        rows.append(
+            ModelAccuracyRow(
+                label=label,
+                rms_scattering=rms_scattering_error(model, omega, data.samples),
+                max_scattering=max_scattering_error(model, omega, data.samples),
+                max_rel_impedance=max_relative_impedance_error(
+                    model, omega, result.reference_impedance, termination,
+                    observe_port, z0=data.z0,
+                ),
+                low_band_rel_impedance=max_relative_impedance_error(
+                    model, omega, result.reference_impedance, termination,
+                    observe_port, band=low_band, z0=data.z0,
+                ),
+                is_passive=check_passivity(model).is_passive,
+            )
+        )
+    return rows
+
+
 def impedance_error_report(
     rows: list[ModelAccuracyRow],
 ) -> str:

@@ -74,19 +74,13 @@ _COMPONENT_FIELDS = {
 }
 
 
-def load_termination(path: str | Path) -> TerminationNetwork:
-    """Read a termination network from a JSON spec file."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    entries = payload.get("ports")
-    if not isinstance(entries, list) or not entries:
-        raise ValueError(f"{path}: spec must contain a non-empty 'ports' list")
-    terminations = [_build_component(entry) for entry in entries]
-    excitations = np.array([float(entry.get("excitation", 0.0)) for entry in entries])
-    return TerminationNetwork(terminations=terminations, excitations=excitations)
+def termination_to_dict(network: TerminationNetwork) -> dict:
+    """JSON-compatible dict form of a termination network.
 
-
-def save_termination(network: TerminationNetwork, path: str | Path) -> None:
-    """Write a termination network as a JSON spec file."""
+    The canonical interchange form: file persistence and content-addressed
+    cache fingerprints both go through this codec so the two can never
+    disagree about what a termination "is".
+    """
     entries = []
     for port, term in enumerate(network.terminations):
         kind = _COMPONENT_NAMES.get(type(term))
@@ -101,6 +95,30 @@ def save_termination(network: TerminationNetwork, path: str | Path) -> None:
         if excitation:
             entry["excitation"] = excitation
         entries.append(entry)
+    return {"ports": entries}
+
+
+def termination_from_dict(payload: dict) -> TerminationNetwork:
+    """Inverse of :func:`termination_to_dict`."""
+    entries = payload.get("ports")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("spec must contain a non-empty 'ports' list")
+    terminations = [_build_component(entry) for entry in entries]
+    excitations = np.array([float(entry.get("excitation", 0.0)) for entry in entries])
+    return TerminationNetwork(terminations=terminations, excitations=excitations)
+
+
+def load_termination(path: str | Path) -> TerminationNetwork:
+    """Read a termination network from a JSON spec file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    try:
+        return termination_from_dict(payload)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+
+
+def save_termination(network: TerminationNetwork, path: str | Path) -> None:
+    """Write a termination network as a JSON spec file."""
     Path(path).write_text(
-        json.dumps({"ports": entries}, indent=1), encoding="utf-8"
+        json.dumps(termination_to_dict(network), indent=1), encoding="utf-8"
     )

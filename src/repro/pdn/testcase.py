@@ -11,18 +11,25 @@ orders of magnitude larger at low frequency than at high frequency, because
 the near-ideal port-to-port through connection of the power net makes
 (I + S) almost singular there.
 
-Two sizes are provided:
+Three sizes are provided:
 
 * ``"small"`` (default): 9 ports (4 die, 3 decap, 1 VRM, 1 open) on an
   8x8 board grid + 4x4 package grid; the full macromodeling pipeline runs
   in seconds.
+* ``"medium"``: 13 ports (6 die, 4 decap, 1 VRM, 2 open) on a 9x9 board
+  + 5x5 package, a middle rung for sweep campaigns.
 * ``"large"``: 20 ports (10 die, 6 decap, 1 VRM, 3 open) on a 12x12 board
   + 6x6 package, for scaling studies.
+
+Beyond the fixed sizes, :func:`make_variant_testcase` produces parameterized
+variants (scaled decaps, different VRM output resistance, rescaled switching
+current) so campaign sweeps can explore a family of PDN loading scenarios
+from the same plane geometry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 
 import numpy as np
 
@@ -130,6 +137,54 @@ def _small_geometry() -> PDNGeometry:
     return PDNGeometry(planes=[board, package], connections=balls, ports=ports)
 
 
+def _medium_geometry() -> PDNGeometry:
+    board = PlaneSpec(
+        name="board",
+        nx=9,
+        ny=9,
+        cell_resistance=0.6e-3,
+        cell_inductance=0.24e-9,
+        node_capacitance=35e-12,
+        node_leakage=1e-7,
+        loss_tangent=0.045,
+        skin_corner_hz=2e7,
+    )
+    package = PlaneSpec(
+        name="pkg",
+        nx=5,
+        ny=5,
+        cell_resistance=1.1e-3,
+        cell_inductance=0.032e-9,
+        node_capacitance=1.1e-12,
+        node_leakage=1e-8,
+        loss_tangent=0.045,
+        skin_corner_hz=5e7,
+    )
+    balls = [
+        ConnectionSpec("pkg", (0, 0), "board", (3, 3), 3e-3, 0.30e-9),
+        ConnectionSpec("pkg", (4, 0), "board", (5, 3), 3e-3, 0.30e-9),
+        ConnectionSpec("pkg", (0, 4), "board", (3, 5), 3e-3, 0.30e-9),
+        ConnectionSpec("pkg", (4, 4), "board", (5, 5), 3e-3, 0.30e-9),
+        ConnectionSpec("pkg", (2, 2), "board", (4, 4), 4e-3, 0.35e-9),
+    ]
+    die_coords = [(1, 1), (2, 1), (3, 1), (1, 3), (2, 3), (3, 3)]
+    decap_coords = [(1, 1), (7, 2), (2, 7), (7, 7)]
+    ports = [
+        PortSpec("pkg", coord, f"die{i + 1}", role="die")
+        for i, coord in enumerate(die_coords)
+    ]
+    ports += [
+        PortSpec("board", coord, f"cap{i + 1}", role="decap")
+        for i, coord in enumerate(decap_coords)
+    ]
+    ports.append(PortSpec("board", (0, 8), "vrm", role="vrm"))
+    ports += [
+        PortSpec("board", coord, f"spare{i + 1}", role="open")
+        for i, coord in enumerate([(8, 0), (6, 6)])
+    ]
+    return PDNGeometry(planes=[board, package], connections=balls, ports=ports)
+
+
 def _large_geometry() -> PDNGeometry:
     board = PlaneSpec(
         name="board",
@@ -221,10 +276,14 @@ def make_paper_testcase(
     """
     if size == "small":
         geometry = _small_geometry()
+    elif size == "medium":
+        geometry = _medium_geometry()
     elif size == "large":
         geometry = _large_geometry()
     else:
-        raise ValueError(f"unknown size {size!r}; use 'small' or 'large'")
+        raise ValueError(
+            f"unknown size {size!r}; use 'small', 'medium' or 'large'"
+        )
 
     circuit = build_circuit(geometry)
     frequencies = log_spaced_frequencies(
@@ -241,3 +300,90 @@ def make_paper_testcase(
         termination=termination,
         observe_port=observe_port,
     )
+
+
+def perturb_termination(
+    termination: TerminationNetwork,
+    *,
+    decap_c_scale: float = 1.0,
+    decap_esr_scale: float = 1.0,
+    vrm_resistance: float | None = None,
+    total_die_current: float | None = None,
+) -> TerminationNetwork:
+    """Return a perturbed copy of a nominal termination network.
+
+    The perturbation knobs mirror what a power-integrity engineer sweeps in
+    practice: decap vendor/stuffing changes (capacitance and ESR scaling),
+    the VRM output resistance (regulation state), and the total switching
+    current drawn by the die ports (workload intensity).
+    """
+    if decap_c_scale <= 0.0 or decap_esr_scale <= 0.0:
+        raise ValueError("decap scale factors must be positive")
+    terminations: list = []
+    for term in termination.terminations:
+        if isinstance(term, DecouplingCapacitor):
+            term = _dc_replace(
+                term,
+                capacitance=term.capacitance * decap_c_scale,
+                esr=term.esr * decap_esr_scale,
+            )
+        elif vrm_resistance is not None and isinstance(term, ShortTermination):
+            term = _dc_replace(term, resistance=vrm_resistance)
+        terminations.append(term)
+    excitations = termination.excitations.copy()
+    if total_die_current is not None:
+        if total_die_current < 0.0:
+            raise ValueError("total_die_current must be non-negative")
+        current = float(np.sum(np.abs(excitations)))
+        if current > 0.0:
+            excitations = excitations * (total_die_current / current)
+    return TerminationNetwork(terminations=terminations, excitations=excitations)
+
+
+def make_variant_testcase(
+    size: str = "small",
+    *,
+    n_frequencies: int = 201,
+    f_min: float = 1e3,
+    f_max: float = 2e9,
+    include_dc: bool = True,
+    z0: float = 50.0,
+    decap_c_scale: float = 1.0,
+    decap_esr_scale: float = 1.0,
+    vrm_resistance: float | None = None,
+    total_die_current: float | None = None,
+) -> PDNTestCase:
+    """Parameterized test-case variant: a fixed size plus termination knobs.
+
+    The plane geometry and scattering data depend only on ``size`` and the
+    frequency grid; the termination network is the nominal scheme of
+    :func:`make_paper_testcase` perturbed by :func:`perturb_termination`.
+    Campaign sweeps use this to expand one geometry into a family of
+    loading scenarios.
+    """
+    base = make_paper_testcase(
+        size=size,
+        n_frequencies=n_frequencies,
+        f_min=f_min,
+        f_max=f_max,
+        include_dc=include_dc,
+        z0=z0,
+    )
+    termination = perturb_termination(
+        base.termination,
+        decap_c_scale=decap_c_scale,
+        decap_esr_scale=decap_esr_scale,
+        vrm_resistance=vrm_resistance,
+        total_die_current=total_die_current,
+    )
+    tags = []
+    if decap_c_scale != 1.0:
+        tags.append(f"decapC x{decap_c_scale:g}")
+    if decap_esr_scale != 1.0:
+        tags.append(f"decapESR x{decap_esr_scale:g}")
+    if vrm_resistance is not None:
+        tags.append(f"vrmR {vrm_resistance:g}")
+    if total_die_current is not None:
+        tags.append(f"Idie {total_die_current:g}")
+    name = base.name if not tags else f"{base.name} ({', '.join(tags)})"
+    return _dc_replace(base, name=name, termination=termination)

@@ -3,6 +3,12 @@
 JSON schema (version 1): poles and residues stored as [real, imag] pairs
 so files are portable and diffable; the conjugate-pairing invariants are
 re-validated on load by the :class:`PoleResidueModel` constructor.
+
+A model file may carry an optional ``metadata`` object (free-form,
+JSON-serializable) so callers can attach provenance -- enforcement
+diagnostics, passivity reports, campaign scenario parameters -- that
+round-trips with the model.  Readers that do not care about it
+(:func:`load_model`) ignore it; :func:`load_model_with_metadata` returns it.
 """
 
 from __future__ import annotations
@@ -31,8 +37,36 @@ def _pairs_to_complex(data: list) -> np.ndarray:
     return arr[..., 0] + 1j * arr[..., 1]
 
 
-def save_model(model: PoleResidueModel, path: str | Path) -> None:
-    """Write a macromodel to a JSON file."""
+def sanitize_metadata(value):
+    """Recursively convert a metadata tree to plain JSON-compatible types.
+
+    Numpy scalars and arrays show up naturally in diagnostics dicts; this
+    maps them (and tuples/sets) onto JSON primitives so metadata can be
+    attached without the caller hand-converting every leaf.
+    """
+    if isinstance(value, dict):
+        return {str(k): sanitize_metadata(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [sanitize_metadata(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return sanitize_metadata(value.tolist())
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, complex):
+        return [value.real, value.imag]
+    return value
+
+
+def save_model(
+    model: PoleResidueModel,
+    path: str | Path,
+    metadata: dict | None = None,
+) -> None:
+    """Write a macromodel (plus optional provenance metadata) to JSON."""
     payload = {
         "format": _FORMAT,
         "version": _VERSION,
@@ -42,11 +76,19 @@ def save_model(model: PoleResidueModel, path: str | Path) -> None:
         "residues": _complex_to_pairs(model.residues),
         "const": model.const.tolist(),
     }
+    if metadata is not None:
+        payload["metadata"] = sanitize_metadata(metadata)
     Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
 
 
 def load_model(path: str | Path) -> PoleResidueModel:
     """Read a macromodel written by :func:`save_model`."""
+    model, _ = load_model_with_metadata(path)
+    return model
+
+
+def load_model_with_metadata(path: str | Path) -> tuple[PoleResidueModel, dict]:
+    """Read a macromodel and its metadata object ({} when absent)."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     if payload.get("format") != _FORMAT:
         raise ValueError(f"{path}: not a {_FORMAT} file")
@@ -60,4 +102,7 @@ def load_model(path: str | Path) -> PoleResidueModel:
     model = PoleResidueModel(poles, residues, const)
     if model.n_poles != payload["n_poles"] or model.n_ports != payload["n_ports"]:
         raise ValueError(f"{path}: header counts disagree with stored arrays")
-    return model
+    metadata = payload.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise ValueError(f"{path}: metadata must be a JSON object")
+    return model, metadata

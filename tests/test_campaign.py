@@ -1,0 +1,378 @@
+"""Campaign subsystem: scenario grids, executor, cache, registry, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign.cache import FlowCache, flow_fingerprint
+from repro.campaign.executor import run_campaign
+from repro.campaign.registry import CampaignRegistry, worst_by_group
+from repro.campaign.report import campaign_report
+from repro.campaign.scenario import (
+    CampaignSpec,
+    ScenarioSpec,
+    filter_scenarios,
+    load_campaign,
+    save_campaign,
+    slugify,
+)
+from repro.cli import main
+from repro.flow.macromodel import FlowOptions
+from repro.passivity.check import check_passivity
+from repro.pdn.testcase import make_variant_testcase, perturb_termination
+from repro.vectfit.options import VFOptions
+
+# Coarse settings: each uncached flow run takes well under a second.
+FAST = dict(
+    size="small",
+    n_frequencies=31,
+    include_dc=False,
+    n_poles=4,
+    refinement_rounds=0,
+    weight_model_order=3,
+    enforcement_max_iterations=10,
+)
+
+
+def fast_scenario(name="s", **overrides) -> ScenarioSpec:
+    params = dict(FAST, name=name)
+    params.update(overrides)
+    return ScenarioSpec(**params)
+
+
+class TestScenarioSpec:
+    def test_run_id_deterministic_and_content_addressed(self):
+        a = fast_scenario("case", weight_mode="relative")
+        b = fast_scenario("case", weight_mode="relative")
+        c = fast_scenario("case", weight_mode="absolute")
+        assert a.run_id == b.run_id
+        assert a.run_id != c.run_id
+        assert a.run_id.startswith("case-")
+
+    def test_flow_options_mapping(self):
+        scenario = fast_scenario(n_poles=7, weight_mode="absolute",
+                                 enforcement_max_iterations=5)
+        options = scenario.flow_options()
+        assert isinstance(options, FlowOptions)
+        assert options.vf == VFOptions(n_poles=7)
+        assert options.weight_mode == "absolute"
+        assert options.enforcement.max_iterations == 5
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown scenario parameters"):
+            ScenarioSpec.from_dict({"name": "x", "bogus_knob": 1})
+
+
+class TestCampaignSpec:
+    def test_grid_expansion(self):
+        spec = CampaignSpec.from_axes(
+            "grid",
+            fast_scenario("base"),
+            {"weight_mode": ["relative", "absolute"],
+             "decap_c_scale": [0.5, 1.0, 2.0]},
+        )
+        scenarios = spec.expand()
+        assert len(scenarios) == 6
+        names = [s.name for s in scenarios]
+        assert len(set(names)) == 6
+        assert all("weight_mode=" in n and "decap_c_scale=" in n
+                   for n in names)
+        # Deterministic ordering regardless of axes dict insertion order.
+        flipped = CampaignSpec.from_axes(
+            "grid",
+            fast_scenario("base"),
+            {"decap_c_scale": [0.5, 1.0, 2.0],
+             "weight_mode": ["relative", "absolute"]},
+        )
+        assert [s.run_id for s in flipped.expand()] == \
+               [s.run_id for s in scenarios]
+
+    def test_empty_axes_yield_base(self):
+        spec = CampaignSpec.from_axes("solo", fast_scenario("only"))
+        scenarios = spec.expand()
+        assert len(scenarios) == 1
+        assert scenarios[0].name == "only"
+
+    def test_empty_grid(self):
+        spec = CampaignSpec.from_axes(
+            "empty", fast_scenario(), {"n_poles": []}
+        )
+        assert spec.expand() == []
+        result = run_campaign(spec)
+        assert result.n_runs == 0
+        assert result.n_failed == 0
+        assert "0 runs" in result.summary()
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep axes"):
+            CampaignSpec.from_axes("bad", fast_scenario(), {"nope": [1]})
+
+    def test_json_roundtrip(self, tmp_path):
+        spec = CampaignSpec.from_axes(
+            "rt", fast_scenario("base"),
+            {"weight_mode": ["relative", "absolute"]},
+        )
+        path = tmp_path / "spec.json"
+        save_campaign(spec, path)
+        back = load_campaign(path)
+        assert back == spec
+        assert [s.run_id for s in back.expand()] == \
+               [s.run_id for s in spec.expand()]
+
+    def test_filter_scenarios(self):
+        spec = CampaignSpec.from_axes(
+            "f", fast_scenario("base"),
+            {"weight_mode": ["relative", "absolute"]},
+        )
+        scenarios = spec.expand()
+        assert len(filter_scenarios(scenarios, None)) == 2
+        assert len(filter_scenarios(scenarios, "absolute")) == 1
+        assert len(filter_scenarios(scenarios, "*weight_mode=rel*")) == 1
+        assert filter_scenarios(scenarios, "no-such") == []
+        # An exact expanded name (always contains brackets) must match,
+        # both as a substring pattern and inside a glob.
+        assert filter_scenarios(scenarios, scenarios[0].name) == \
+               [scenarios[0]]
+        assert filter_scenarios(scenarios, scenarios[0].name + "*") == \
+               [scenarios[0]]
+
+    def test_slugify_is_path_safe(self):
+        assert slugify("../evil") == "..-evil"
+        assert slugify("..") == "run"
+        assert slugify("a/b c") == "a-b-c"
+        assert slugify("") == "run"
+
+
+class TestVariantTestcase:
+    def test_perturbation_changes_termination_only(self):
+        nominal = make_variant_testcase("small", n_frequencies=16,
+                                        include_dc=False)
+        variant = make_variant_testcase(
+            "small", n_frequencies=16, include_dc=False,
+            decap_c_scale=2.0, vrm_resistance=5e-3, total_die_current=2.0,
+        )
+        assert np.allclose(variant.data.samples, nominal.data.samples)
+        omega = np.array([1e6, 1e9])
+        y_nom = nominal.termination.admittance_matrices(omega)
+        y_var = variant.termination.admittance_matrices(omega)
+        assert not np.allclose(y_nom, y_var)
+        assert np.isclose(np.sum(variant.termination.excitations), 2.0)
+        assert "decapC" in variant.name and "vrmR" in variant.name
+
+    def test_medium_size_exists(self):
+        from repro.pdn.testcase import _medium_geometry
+
+        geometry = _medium_geometry()
+        assert len(geometry.ports_with_role("die")) == 6
+        assert len(geometry.ports_with_role("vrm")) == 1
+
+    def test_bad_scale_rejected(self):
+        nominal = make_variant_testcase("small", n_frequencies=16,
+                                        include_dc=False)
+        with pytest.raises(ValueError, match="positive"):
+            perturb_termination(nominal.termination, decap_c_scale=0.0)
+
+
+@pytest.fixture(scope="module")
+def campaign_env(tmp_path_factory):
+    """One small campaign executed serially; reused by the read-side tests."""
+    root = tmp_path_factory.mktemp("campaign")
+    spec = CampaignSpec.from_axes(
+        "mini", fast_scenario("mini"),
+        {"weight_mode": ["relative", "absolute"]},
+    )
+    registry = CampaignRegistry(root / "registry")
+    cache = FlowCache(root / "cache")
+    result = run_campaign(spec, registry=registry, cache=cache, jobs=1)
+    return {"root": root, "spec": spec, "registry": registry,
+            "cache": cache, "result": result}
+
+
+class TestExecutor:
+    def test_single_scenario_end_to_end(self, campaign_env):
+        result = campaign_env["result"]
+        assert result.n_runs == 2
+        assert result.n_ok == 2
+        assert result.n_failed == 0
+        record = result.records[0]
+        assert record["metrics"]["max_rel_impedance_weighted_cost"] >= 0.0
+        assert record["timings"]["flow_s"] > 0.0
+        assert len(record["accuracy_table"]) == 4
+
+    def test_registry_artifacts_written(self, campaign_env):
+        registry = campaign_env["registry"]
+        for record in campaign_env["result"].records:
+            assert registry.has_result(record["run_id"])
+            model, metadata = registry.load_model(record["run_id"])
+            assert metadata["run_id"] == record["run_id"]
+            assert check_passivity(model).is_passive
+
+    def test_cache_hit_on_identical_spec(self, campaign_env):
+        # Fresh registry, same cache: every run must be served from cache.
+        registry = CampaignRegistry(campaign_env["root"] / "registry2")
+        result = run_campaign(
+            campaign_env["spec"], registry=registry,
+            cache=campaign_env["cache"], jobs=1,
+        )
+        assert result.n_ok == 2
+        assert result.n_cache_hits == 2
+        for record in result.records:
+            assert record["timings"]["flow_s"] == 0.0
+        # Metrics survive the cache round-trip.
+        original = {r["run_id"]: r for r in campaign_env["result"].records}
+        for record in result.records:
+            assert record["metrics"] == pytest.approx(
+                original[record["run_id"]]["metrics"]
+            )
+
+    def test_resume_skips_completed(self, campaign_env):
+        result = run_campaign(
+            campaign_env["spec"], registry=campaign_env["registry"],
+            cache=campaign_env["cache"], jobs=1, resume=True,
+        )
+        assert result.n_resumed == 2
+        assert result.n_ok == 2
+
+    def test_worker_failure_is_isolated(self, campaign_env, tmp_path):
+        # observe_port=99 does not exist -> that worker fails; the healthy
+        # scenario (already cached) still completes.  jobs=2 exercises the
+        # real process pool.
+        good = fast_scenario("mini", weight_mode="relative")
+        bad = fast_scenario("doomed", observe_port=99)
+        registry = CampaignRegistry(tmp_path / "reg")
+        result = run_campaign(
+            [good, bad], registry=registry,
+            cache=campaign_env["cache"], jobs=2,
+        )
+        assert result.n_runs == 2
+        assert result.n_ok == 1
+        assert result.n_failed == 1
+        failed = [r for r in result.records if r["status"] == "failed"][0]
+        assert failed["name"] == "doomed"
+        assert failed["error"]
+        stored = registry.load_result(failed["run_id"])
+        assert stored["status"] == "failed"
+
+    def test_duplicate_scenarios_deduped(self, campaign_env):
+        scenario = fast_scenario("mini", weight_mode="relative")
+        result = run_campaign(
+            [scenario, scenario], cache=campaign_env["cache"], jobs=1
+        )
+        assert result.n_runs == 1
+
+
+class TestCacheAndFingerprint:
+    def test_fingerprint_tracks_content(self):
+        testcase = make_variant_testcase("small", n_frequencies=16,
+                                         include_dc=False)
+        options = FlowOptions(vf=VFOptions(n_poles=4))
+        key = flow_fingerprint(testcase.data, testcase.termination, 0, options)
+        assert key == flow_fingerprint(testcase.data, testcase.termination,
+                                       0, options)
+        assert key != flow_fingerprint(testcase.data, testcase.termination,
+                                       1, options)
+        assert key != flow_fingerprint(
+            testcase.data, testcase.termination, 0,
+            FlowOptions(vf=VFOptions(n_poles=5)),
+        )
+        perturbed = perturb_termination(testcase.termination,
+                                        decap_c_scale=2.0)
+        assert key != flow_fingerprint(testcase.data, perturbed, 0, options)
+
+    def test_corrupt_entry_is_a_miss(self, campaign_env):
+        cache = campaign_env["cache"]
+        paths = list(cache.root.glob("*/*.json"))
+        assert paths
+        key = paths[0].stem
+        paths[0].write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+
+class TestRegistry:
+    def test_manifest_roundtrip(self, campaign_env):
+        registry = campaign_env["registry"]
+        manifest = registry.load_manifest()
+        assert manifest["campaign"]["name"] == "mini"
+        assert manifest["n_runs"] == 2
+        run_ids = {entry["run_id"] for entry in manifest["runs"]}
+        assert run_ids == {r["run_id"]
+                           for r in campaign_env["result"].records}
+
+    def test_manifest_keeps_earlier_runs_on_partial_rerun(
+        self, campaign_env, tmp_path
+    ):
+        # Full campaign, then a filtered re-run into the same registry:
+        # the manifest must still index every stored run.
+        registry = CampaignRegistry(tmp_path / "reg")
+        spec = campaign_env["spec"]
+        run_campaign(spec, registry=registry,
+                     cache=campaign_env["cache"], jobs=1)
+        subset = [s for s in spec.expand() if "absolute" in s.name]
+        run_campaign(spec, scenarios=subset, registry=registry,
+                     cache=campaign_env["cache"], jobs=1)
+        manifest = registry.load_manifest()
+        assert manifest["n_runs"] == 2
+        assert {r["run_id"] for r in manifest["runs"]} == \
+               {s.run_id for s in spec.expand()}
+
+    def test_query_and_aggregation(self, campaign_env):
+        registry = campaign_env["registry"]
+        records = registry.query()
+        assert len(records) == 2
+        relative_only = registry.query(
+            lambda r: r["scenario"]["weight_mode"] == "relative"
+        )
+        assert len(relative_only) == 1
+        worst = worst_by_group(records, "weight_mode",
+                               "max_rel_impedance_weighted_cost")
+        assert set(worst) == {"relative", "absolute"}
+        for entry in worst.values():
+            assert entry["value"] >= 0.0
+
+    def test_report_renders(self, campaign_env):
+        text = campaign_report(campaign_env["result"])
+        assert "worst max_rel_impedance_weighted_cost" in text
+        assert "mini" in text
+
+
+class TestCampaignCLI:
+    def _write_spec(self, path, n_frequencies=31):
+        payload = {
+            "name": "clicamp",
+            "base": dict(FAST, name="cli", n_frequencies=n_frequencies),
+            "axes": {"weight_mode": ["relative", "absolute"]},
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+    def test_dry_run_lists_scenarios(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        self._write_spec(spec_path)
+        code = main(["campaign", str(spec_path), "--dry-run",
+                     "--output-dir", str(tmp_path / "out")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 scenario(s)" in out
+
+    def test_filter_without_match(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        self._write_spec(spec_path)
+        code = main(["campaign", str(spec_path), "--filter", "zzz",
+                     "--output-dir", str(tmp_path / "out")])
+        assert code == 0
+        assert "no scenarios" in capsys.readouterr().out
+
+    def test_campaign_and_resume(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        self._write_spec(spec_path)
+        out_dir = tmp_path / "campaigns"
+        argv = ["campaign", str(spec_path), "--jobs", "1",
+                "--output-dir", str(out_dir)]
+        assert main(argv) == 0
+        assert (out_dir / "clicamp" / "manifest.json").exists()
+        assert (out_dir / "clicamp" / "report.txt").exists()
+        capsys.readouterr()
+
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 resumed" in out

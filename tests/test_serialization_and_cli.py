@@ -9,7 +9,11 @@ from repro.cli import main
 from repro.circuits.components import DecouplingCapacitor, DieBlock
 from repro.pdn.spec import load_termination, save_termination
 from repro.pdn.termination import TerminationNetwork
-from repro.statespace.serialization import load_model, save_model
+from repro.statespace.serialization import (
+    load_model,
+    load_model_with_metadata,
+    save_model,
+)
 from tests.conftest import make_random_stable_model
 
 
@@ -38,6 +42,31 @@ class TestModelSerialization:
         path.write_text(json.dumps({"format": "something-else"}))
         with pytest.raises(ValueError, match="not a"):
             load_model(path)
+
+    def test_metadata_roundtrip(self, rng, tmp_path):
+        model = make_random_stable_model(rng, n_ports=2)
+        path = tmp_path / "model.json"
+        metadata = {
+            "enforcement": {"iterations": np.int64(7),
+                            "converged": np.bool_(True)},
+            "worst_sigma": np.float64(0.999),
+            "weights": np.array([1.0, 0.5]),
+        }
+        save_model(model, path, metadata=metadata)
+        back, meta = load_model_with_metadata(path)
+        assert np.allclose(back.poles, model.poles)
+        assert meta["enforcement"] == {"iterations": 7, "converged": True}
+        assert meta["worst_sigma"] == pytest.approx(0.999)
+        assert meta["weights"] == [1.0, 0.5]
+        # Plain load_model ignores metadata entirely.
+        assert np.allclose(load_model(path).poles, model.poles)
+
+    def test_no_metadata_loads_empty(self, rng, tmp_path):
+        model = make_random_stable_model(rng, n_ports=2)
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        _, meta = load_model_with_metadata(path)
+        assert meta == {}
 
     def test_tampered_header_rejected(self, rng, tmp_path):
         model = make_random_stable_model(rng, n_ports=2)
