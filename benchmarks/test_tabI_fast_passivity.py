@@ -1,0 +1,131 @@
+"""Derived Table I: fast passivity engine speedup.
+
+Times the enforcement loop under both checker strategies ("exact" =
+Hamiltonian eigenvalue test every iteration, "fast" = warm-started
+sampling for intermediate iterations with exact certification) on the
+small/medium/large PDN variants, and tracks the wall-time trajectory
+against the recorded PR-1 baseline for the Table G case (98.91 s: exact
+check every iteration, per-element Python QP assembly, dense dual Gram).
+
+Both strategies now share the vectorized kernels (structured working-set
+QP, cached Hamiltonian invariants, batched constraint assembly), so the
+exact-vs-fast gap isolates the checker strategy itself while the
+comparison against the recorded baseline captures the full engine
+speedup -- the ISSUE 2 acceptance criterion (>= 5x on the P = 20 case
+with a certified passive result).
+"""
+
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.passivity.cost import l2_gramian_cost
+from repro.passivity.enforce import EnforcementOptions, enforce_passivity
+from repro.vectfit.core import vector_fit
+from repro.vectfit.options import VFOptions
+from repro.pdn.testcase import make_paper_testcase
+
+# Table G enforcement wall time recorded by the PR-1 code on this case
+# (see benchmarks/artifacts/tabG_scaling.txt in the PR-1 tree).
+PR1_LARGE_ENFORCEMENT_SECONDS = 98.91
+
+CASES = (
+    ("small", 201, 12),
+    ("medium", 161, 14),
+    ("large", 121, 16),
+)
+
+
+def _fit_case(size, n_frequencies, n_poles):
+    case = make_paper_testcase(size=size, n_frequencies=n_frequencies)
+    fit = vector_fit(
+        case.data.omega, case.data.samples,
+        options=VFOptions(n_poles=n_poles),
+    )
+    return case, fit
+
+
+def _enforce_timed(model, strategy):
+    cost = l2_gramian_cost(model)
+    start = time.perf_counter()
+    result = enforce_passivity(
+        model, cost, EnforcementOptions(checker_strategy=strategy)
+    )
+    return result, time.perf_counter() - start
+
+
+def test_tabI_fast_passivity(artifacts_dir):
+    lines = [
+        "Table I -- fast passivity engine: enforcement wall time by "
+        "checker strategy",
+        "  (exact = Hamiltonian test every iteration; fast = sampling-"
+        "first with exact certificate)",
+        "  case    ports  poles   exact [s]  fast [s]  iters(e/f)  "
+        "worst sigma (fast)",
+    ]
+    large_fast_seconds = None
+    for size, n_frequencies, n_poles in CASES:
+        case, fit = _fit_case(size, n_frequencies, n_poles)
+        exact, t_exact = _enforce_timed(fit.model, "exact")
+        fast, t_fast = _enforce_timed(fit.model, "fast")
+
+        # Identical convergence behavior: both certified by the exact
+        # Hamiltonian test, agreeing on the verdict and worst sigma.
+        assert exact.converged and fast.converged
+        assert fast.report_after.worst_sigma <= 1.0
+        assert exact.report_after.worst_sigma <= 1.0
+        assert abs(
+            fast.report_after.worst_sigma - exact.report_after.worst_sigma
+        ) < 5e-3
+
+        lines.append(
+            f"  {size:<7s} {case.data.n_ports:>5d}  {n_poles:>5d}   "
+            f"{t_exact:>9.2f}  {t_fast:>8.2f}  "
+            f"{exact.iterations:>4d}/{fast.iterations:<4d}  "
+            f"{fast.report_after.worst_sigma:.8f}"
+        )
+        if size == "large":
+            large_fast_seconds = t_fast
+            large_exact_seconds = t_exact
+
+    speedup_vs_pr1 = PR1_LARGE_ENFORCEMENT_SECONDS / large_fast_seconds
+    lines += [
+        "",
+        f"  PR-1 recorded large-case enforcement : "
+        f"{PR1_LARGE_ENFORCEMENT_SECONDS:.2f} s (exact checks, dense "
+        "dual Gram, per-element Python assembly)",
+        f"  this run, exact strategy             : "
+        f"{large_exact_seconds:.2f} s "
+        f"({PR1_LARGE_ENFORCEMENT_SECONDS / large_exact_seconds:.1f}x)",
+        f"  this run, fast strategy              : "
+        f"{large_fast_seconds:.2f} s ({speedup_vs_pr1:.1f}x)",
+    ]
+    emit(artifacts_dir / "tabI_fast_passivity.txt", "\n".join(lines))
+
+    # Acceptance criterion: >= 5x on the Table G case with a certified
+    # passive result.  Skippable on shared/loaded runners (CI sets
+    # REPRO_SKIP_PERF_ASSERTS and relies on the perf-smoke threshold
+    # instead) since the baseline is a wall-clock figure from a
+    # dedicated machine.
+    if not os.environ.get("REPRO_SKIP_PERF_ASSERTS"):
+        assert large_fast_seconds * 5.0 <= PR1_LARGE_ENFORCEMENT_SECONDS
+
+
+def test_tabI_perf_smoke(artifacts_dir):
+    """CI perf smoke: the small case must enforce quickly.
+
+    Generous threshold -- the fast engine finishes in well under a
+    second on commodity hardware; 30 s only trips on gross regressions
+    (e.g. reintroducing a dense dual Gram or per-iteration Hamiltonian
+    rebuilds).
+    """
+    _case, fit = _fit_case("small", 201, 12)
+    fast, t_fast = _enforce_timed(fit.model, "fast")
+    assert fast.converged
+    assert fast.report_after.worst_sigma <= 1.0
+    assert t_fast < 30.0
+    emit(
+        artifacts_dir / "tabI_perf_smoke.txt",
+        f"perf smoke: small-case fast enforcement {t_fast:.2f} s "
+        f"(threshold 30 s), converged={fast.converged}",
+    )

@@ -35,6 +35,7 @@ from repro.flow.macromodel import (
 )
 from repro.passivity.check import check_passivity
 from repro.passivity.enforce import EnforcementOptions, enforce_passivity
+from repro.passivity.engine import CheckerOptions, PassivityChecker
 from repro.pdn.termination import TerminationNetwork
 from repro.pdn.testcase import (
     PDNTestCase,
@@ -65,6 +66,8 @@ __all__ = [
     "MacromodelingFlow",
     "run_flow",
     "check_passivity",
+    "CheckerOptions",
+    "PassivityChecker",
     "EnforcementOptions",
     "enforce_passivity",
     "TerminationNetwork",

@@ -147,6 +147,10 @@ def execute_scenario(
                 "testcase_s": build_s,
                 "flow_s": flow_s,
                 "total_s": time.perf_counter() - started,
+                "enforcement_profile": {
+                    "standard_cost": result.standard_enforced.profile(),
+                    "weighted_cost": result.weighted_enforced.profile(),
+                },
             },
             cache_key=key,
         )

@@ -47,6 +47,11 @@ class ScenarioSpec:
     n_poles / weight_mode / weight_floor / refinement_rounds /
     weight_model_order / enforcement_max_iterations:
         Flow configuration (:class:`repro.flow.macromodel.FlowOptions`).
+    checker_strategy / checker_exact_every:
+        Passivity-checker strategy of the enforcement loop: ``"fast"``
+        (sampling-mode intermediate iterations, exact Hamiltonian
+        certification) or ``"exact"`` (Hamiltonian test every iteration);
+        see :class:`repro.passivity.engine.CheckerOptions`.
     """
 
     name: str = "scenario"
@@ -64,6 +69,8 @@ class ScenarioSpec:
     refinement_rounds: int = 3
     weight_model_order: int = 8
     enforcement_max_iterations: int = 30
+    checker_strategy: str = "fast"
+    checker_exact_every: int = 5
 
     # ------------------------------------------------------------------
     # Derived objects
@@ -77,7 +84,9 @@ class ScenarioSpec:
             refinement_rounds=self.refinement_rounds,
             weight_model_order=self.weight_model_order,
             enforcement=EnforcementOptions(
-                max_iterations=self.enforcement_max_iterations
+                max_iterations=self.enforcement_max_iterations,
+                checker_strategy=self.checker_strategy,
+                exact_every=self.checker_exact_every,
             ),
         )
 

@@ -47,6 +47,7 @@ import numpy as np
 from repro.flow.macromodel import FlowOptions, MacromodelingFlow
 from repro.flow.metrics import flow_accuracy_rows, impedance_error_report
 from repro.passivity.check import check_passivity
+from repro.passivity.enforce import EnforcementOptions, EnforcementResult
 from repro.pdn.spec import load_termination, save_termination
 from repro.pdn.testcase import make_paper_testcase
 from repro.sensitivity.zpdn import target_impedance_of_model
@@ -112,9 +113,17 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         weight_mode=args.weight_mode,
         refinement_rounds=args.refinement_rounds,
         weight_model_order=args.weight_order,
+        enforcement=EnforcementOptions(
+            checker_strategy=_checker_strategy(args),
+            exact_every=args.exact_every,
+        ),
     )
     flow = MacromodelingFlow(options)
     result = flow.run(data, termination, args.observe_port)
+
+    if args.profile:
+        print(_enforcement_profile("standard cost", result.standard_enforced))
+        print(_enforcement_profile("weighted cost", result.weighted_enforced))
 
     save_model(result.weighted_enforced.model, out / "passive_model.json")
     omega = data.omega
@@ -169,6 +178,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     scenarios = filter_scenarios(spec.expand(), args.filter)
+    if args.fast or args.exact:
+        from dataclasses import replace
+
+        strategy = _checker_strategy(args)
+        scenarios = [
+            replace(s, checker_strategy=strategy) for s in scenarios
+        ]
     if not scenarios:
         print(
             f"campaign {spec.name!r}: no scenarios"
@@ -203,10 +219,54 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     report = campaign_report(result)
     (out / "report.txt").write_text(report + "\n", encoding="utf-8")
     print(report)
+    if args.profile:
+        for record in result.records:
+            profile = (record.get("timings") or {}).get(
+                "enforcement_profile"
+            )
+            if not profile:
+                continue
+            print(f"{record['run_id']}:")
+            for label, p in profile.items():
+                print(
+                    f"  {label}: check {p['check_seconds']:.3f}s, "
+                    f"constraints {p['constraint_seconds']:.3f}s, "
+                    f"qp {p['qp_seconds']:.3f}s, "
+                    f"rebuild {p['rebuild_seconds']:.3f}s"
+                )
     print(f"registry      : {out}")
     if cache is not None:
         print(f"cache         : {cache.root} ({len(cache)} entries)")
     return 0 if result.n_failed == 0 else 3
+
+
+def _checker_strategy(args: argparse.Namespace) -> str:
+    """Map the --fast/--exact flag pair to a checker strategy name."""
+    return "exact" if getattr(args, "exact", False) else "fast"
+
+
+def _enforcement_profile(label: str, enforced: EnforcementResult) -> str:
+    """Per-iteration timing breakdown table for ``--profile``."""
+    lines = [
+        f"enforcement profile ({label}): {enforced.iterations} iteration(s), "
+        f"converged={enforced.converged}",
+        "  iter  mode              worst sigma   n_con   check_s  constr_s"
+        "    qp_s  rebuild_s",
+    ]
+    for rec in enforced.history:
+        lines.append(
+            f"  {rec.iteration:>4d}  {rec.check_mode:<16s}  "
+            f"{rec.worst_sigma:>11.6f}  {rec.n_constraints:>6d}  "
+            f"{rec.check_seconds:>8.3f}  {rec.constraint_seconds:>8.3f}  "
+            f"{rec.qp_seconds:>6.3f}  {rec.rebuild_seconds:>9.3f}"
+        )
+    totals = enforced.profile()
+    lines.append(
+        "  totals: check {check_seconds:.3f}s, constraints "
+        "{constraint_seconds:.3f}s, qp {qp_seconds:.3f}s, model rebuild "
+        "{rebuild_seconds:.3f}s".format(**totals)
+    )
+    return "\n".join(lines)
 
 
 def _log_level(args: argparse.Namespace) -> int | None:
@@ -260,6 +320,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--weight-order", type=int, default=8)
     p_flow.add_argument("--low-band-hz", type=float, default=1e6)
     p_flow.add_argument("--output-dir", default="flow")
+    _add_checker_flags(p_flow)
+    p_flow.add_argument(
+        "--exact-every", type=int, default=5,
+        help="cadence of interleaved exact Hamiltonian checks in fast "
+        "mode (0 disables interleaving)",
+    )
+    p_flow.add_argument(
+        "--profile", action="store_true",
+        help="print a per-iteration timing breakdown of both "
+        "passivity-enforcement runs (check vs. QP vs. model rebuild)",
+    )
     p_flow.set_defaults(func=_cmd_flow)
 
     p_camp = sub.add_parser(
@@ -298,8 +369,36 @@ def build_parser() -> argparse.ArgumentParser:
         "across campaigns)",
     )
     p_camp.add_argument("--output-dir", default="campaigns")
+    _add_checker_flags(p_camp, override=True)
+    p_camp.add_argument(
+        "--profile", action="store_true",
+        help="print each run's enforcement timing breakdown "
+        "(check vs. QP vs. model rebuild)",
+    )
     p_camp.set_defaults(func=_cmd_campaign)
     return parser
+
+
+def _add_checker_flags(
+    parser: argparse.ArgumentParser, *, override: bool = False
+) -> None:
+    """--fast/--exact passivity-checker strategy flags.
+
+    With ``override=True`` (campaign) the pair overrides every scenario's
+    ``checker_strategy``; unset leaves the spec values untouched.
+    """
+    group = parser.add_mutually_exclusive_group()
+    suffix = " (overrides the campaign spec)" if override else " (default)"
+    group.add_argument(
+        "--fast", dest="fast", action="store_true",
+        help="sampling-first passivity checker with exact Hamiltonian "
+        "certification" + suffix,
+    )
+    group.add_argument(
+        "--exact", dest="exact", action="store_true",
+        help="exact Hamiltonian passivity check every enforcement "
+        "iteration",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -239,15 +239,19 @@ class MacromodelingFlow:
             weighted.model, band_samples=self.options.enforcement.band_samples
         )
 
+        # Both enforcement runs start from the same weighted model, so the
+        # pre-enforcement report doubles as their exact iteration-0 check.
         standard_cost = l2_gramian_cost(weighted.model)
         standard_enforced = enforce_passivity(
-            weighted.model, standard_cost, self.options.enforcement
+            weighted.model, standard_cost, self.options.enforcement,
+            initial_report=report,
         )
         weighted_cost = sensitivity_weighted_cost(
             weighted.model, weight_model.model
         )
         weighted_enforced = enforce_passivity(
-            weighted.model, weighted_cost, self.options.enforcement
+            weighted.model, weighted_cost, self.options.enforcement,
+            initial_report=report,
         )
         return FlowResult(
             omega=omega,

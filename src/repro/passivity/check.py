@@ -9,6 +9,10 @@ omega.  The check combines:
 2. adaptive sampling inside each candidate band to locate the worst
    singular value and its frequency (used both for reporting, paper Fig. 4,
    and to place the linearized constraints of the enforcement loop).
+
+The band-refinement stage is shared with the stateful fast engine
+(:mod:`repro.passivity.engine`), which reuses :func:`report_from_crossings`
+with crossings obtained from cached Hamiltonian invariants.
 """
 
 from __future__ import annotations
@@ -71,38 +75,28 @@ def _sigma_max(model: PoleResidueModel, omega: np.ndarray) -> np.ndarray:
     return np.linalg.svd(response, compute_uv=False)[:, 0]
 
 
-def _refine_band(
-    model: PoleResidueModel,
-    omega_low: float,
-    omega_high: float,
-    samples: int,
-) -> tuple[float, float]:
-    """Locate (sigma_peak, omega_peak) inside a band by dense sampling."""
-    if omega_low <= 0.0:
-        omega_low = min(1e-3, omega_high * 1e-6)
-    grid = np.geomspace(omega_low, omega_high, samples)
-    sigma = _sigma_max(model, grid)
-    best = int(np.argmax(sigma))
-    return float(sigma[best]), float(grid[best])
-
-
-def check_passivity_sampling(
-    model: PoleResidueModel,
-    omega: np.ndarray,
+def asymptotic_violation_report(
+    model: PoleResidueModel, asymptotic: float
 ) -> PassivityReport:
-    """Sampling-only passivity check (no Hamiltonian).
+    """Report for sigma_max(D) >= 1: violated at infinite frequency.
 
-    Sweeps sigma_max(S(j omega)) on the provided grid and reports
-    violations.  Cheaper but *not* conclusive: violations between grid
-    points are missed -- exactly why the Hamiltonian test exists.  Kept
-    for cross-validation and for very large models where the 2N x 2N
-    eigenproblem dominates.
+    No finite band structure is meaningful and C-perturbation cannot
+    repair D.
     """
-    omega = np.asarray(omega, dtype=float)
-    if omega.ndim != 1 or omega.size < 2:
-        raise ValueError("need a one-dimensional grid of at least 2 points")
-    sigma = _sigma_max(model, omega)
-    worst = int(np.argmax(sigma))
+    return PassivityReport(
+        is_passive=False,
+        worst_sigma=asymptotic,
+        worst_omega=np.inf,
+        crossings=np.zeros(0),
+        bands=[],
+        asymptotic_gain=asymptotic,
+    )
+
+
+def bands_from_sigma_samples(
+    omega: np.ndarray, sigma: np.ndarray
+) -> list[ViolationBand]:
+    """Extract contiguous sigma > 1 runs of a sampled sweep as bands."""
     violating = sigma > 1.0
     bands: list[ViolationBand] = []
     start = None
@@ -121,6 +115,29 @@ def check_passivity_sampling(
                 )
             )
             start = None
+    return bands
+
+
+def check_passivity_sampling(
+    model: PoleResidueModel,
+    omega: np.ndarray,
+) -> PassivityReport:
+    """Sampling-only passivity check (no Hamiltonian).
+
+    Sweeps sigma_max(S(j omega)) on the provided grid and reports
+    violations.  Cheaper but *not* conclusive: violations between grid
+    points are missed -- exactly why the Hamiltonian test exists.  Kept
+    for cross-validation and for very large models where the 2N x 2N
+    eigenproblem dominates; the enforcement loop's fast engine
+    (:mod:`repro.passivity.engine`) wraps this mode with an adaptive,
+    warm-started grid and an exact final certificate.
+    """
+    omega = np.asarray(omega, dtype=float)
+    if omega.ndim != 1 or omega.size < 2:
+        raise ValueError("need a one-dimensional grid of at least 2 points")
+    sigma = _sigma_max(model, omega)
+    worst = int(np.argmax(sigma))
+    bands = bands_from_sigma_samples(omega, sigma)
     return PassivityReport(
         is_passive=not bands,
         worst_sigma=float(sigma[worst]),
@@ -129,6 +146,87 @@ def check_passivity_sampling(
         bands=bands,
         asymptotic_gain=float(np.linalg.norm(model.const, 2)),
     )
+
+
+def report_from_crossings(
+    model: PoleResidueModel,
+    crossings: np.ndarray,
+    *,
+    omega_cap: float,
+    band_samples: int = 50,
+    asymptotic: float | None = None,
+) -> PassivityReport:
+    """Build a certified passivity report from Hamiltonian crossings.
+
+    Candidate intervals lie between consecutive crossings (plus the two
+    half-open ends); a band is violating when sigma_max > 1 at its
+    geometric midpoint, and each violating band is refined by dense
+    sampling.  All midpoint and refinement evaluations are batched into
+    two vectorized sweeps.
+    """
+    if asymptotic is None:
+        asymptotic = float(np.linalg.norm(model.const, 2))
+    edges = np.concatenate(([0.0], np.asarray(crossings, float), [omega_cap]))
+    lows, highs = edges[:-1], edges[1:]
+    valid = highs > lows
+    lows, highs = lows[valid], highs[valid]
+    mids = np.sqrt(np.maximum(lows, highs * 1e-9) * highs)
+    sigma_mid = _sigma_max(model, mids) if mids.size else np.zeros(0)
+
+    worst_sigma = 0.0
+    worst_omega = 0.0
+    if mids.size:
+        k = int(np.argmax(sigma_mid))
+        worst_sigma, worst_omega = float(sigma_mid[k]), float(mids[k])
+
+    violating = sigma_mid > 1.0
+    bands: list[ViolationBand] = []
+    if np.any(violating):
+        v_lows = lows[violating]
+        v_highs = highs[violating]
+        # Dense refinement grid of every violating band, one batched sweep.
+        grid_lows = np.where(
+            v_lows <= 0.0, np.minimum(1e-3, v_highs * 1e-6), v_lows
+        )
+        grids = np.geomspace(grid_lows, v_highs, band_samples, axis=1)
+        sigma_grid = _sigma_max(model, grids.reshape(-1)).reshape(
+            grids.shape
+        )
+        best = np.argmax(sigma_grid, axis=1)
+        rows = np.arange(best.size)
+        sigma_peaks = sigma_grid[rows, best]
+        omega_peaks = grids[rows, best]
+        k = int(np.argmax(sigma_peaks))
+        if sigma_peaks[k] > worst_sigma:
+            worst_sigma = float(sigma_peaks[k])
+            worst_omega = float(omega_peaks[k])
+        bands = [
+            ViolationBand(
+                omega_low=float(lo),
+                omega_high=float(hi),
+                omega_peak=float(peak),
+                sigma_peak=float(sig),
+            )
+            for lo, hi, peak, sig in zip(
+                v_lows, v_highs, omega_peaks, sigma_peaks
+            )
+        ]
+
+    return PassivityReport(
+        is_passive=not bands and worst_sigma <= 1.0,
+        worst_sigma=worst_sigma,
+        worst_omega=worst_omega,
+        crossings=np.asarray(crossings, float),
+        bands=bands,
+        asymptotic_gain=asymptotic,
+    )
+
+
+def default_omega_cap(model: PoleResidueModel) -> float:
+    """Upper angular frequency of the half-open band above the last
+    crossing: 10x the largest pole magnitude."""
+    pole_scale = float(np.max(np.abs(model.poles)))
+    return 10.0 * max(pole_scale, 1.0)
 
 
 def check_passivity(
@@ -151,57 +249,23 @@ def check_passivity(
     """
     if not model.is_stable():
         raise ValueError("passivity check requires a stable model")
-    state_space = model.to_state_space()
     asymptotic = float(np.linalg.norm(model.const, 2))
     if asymptotic >= 1.0:
-        # sigma(inf) >= 1: violated at infinite frequency; no finite band
-        # structure is meaningful and C-perturbation cannot repair D.
-        return PassivityReport(
-            is_passive=False,
-            worst_sigma=asymptotic,
-            worst_omega=np.inf,
-            crossings=np.zeros(0),
-            bands=[],
-            asymptotic_gain=asymptotic,
-        )
+        return asymptotic_violation_report(model, asymptotic)
 
-    crossings = imaginary_eigenvalue_frequencies(state_space, gamma=1.0)
+    # Crossing candidates come from the state-space Hamiltonian; their
+    # verification reuses the (mathematically identical, much cheaper)
+    # pole-residue response instead of dense state-space solves.
+    state_space = model.to_state_space()
+    crossings = imaginary_eigenvalue_frequencies(
+        state_space, gamma=1.0, response_fn=model.frequency_response
+    )
     if omega_cap is None:
-        pole_scale = float(np.max(np.abs(model.poles)))
-        omega_cap = 10.0 * max(pole_scale, 1.0)
-
-    # Candidate intervals between consecutive crossings (plus the two
-    # half-open ends); a band is violating when sigma_max > 1 at its
-    # geometric midpoint.
-    edges = np.concatenate(([0.0], crossings, [omega_cap]))
-    bands: list[ViolationBand] = []
-    worst_sigma = 0.0
-    worst_omega = 0.0
-    for lo, hi in zip(edges[:-1], edges[1:]):
-        if hi <= lo:
-            continue
-        mid = np.sqrt(max(lo, hi * 1e-9) * hi)
-        sigma_mid = float(_sigma_max(model, np.array([mid]))[0])
-        if sigma_mid > worst_sigma:
-            worst_sigma, worst_omega = sigma_mid, mid
-        if sigma_mid > 1.0:
-            sigma_peak, omega_peak = _refine_band(model, lo, hi, band_samples)
-            if sigma_peak > worst_sigma:
-                worst_sigma, worst_omega = sigma_peak, omega_peak
-            bands.append(
-                ViolationBand(
-                    omega_low=float(lo),
-                    omega_high=float(hi),
-                    omega_peak=omega_peak,
-                    sigma_peak=sigma_peak,
-                )
-            )
-
-    return PassivityReport(
-        is_passive=not bands and worst_sigma <= 1.0,
-        worst_sigma=worst_sigma,
-        worst_omega=worst_omega,
-        crossings=crossings,
-        bands=bands,
-        asymptotic_gain=asymptotic,
+        omega_cap = default_omega_cap(model)
+    return report_from_crossings(
+        model,
+        crossings,
+        omega_cap=omega_cap,
+        band_samples=band_samples,
+        asymptotic=asymptotic,
     )

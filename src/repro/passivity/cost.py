@@ -52,7 +52,7 @@ class BlockDiagonalCost:
         *,
         ridge: float = 1e-10,
     ) -> None:
-        blocks = np.asarray(blocks, dtype=float)
+        blocks = np.array(blocks, dtype=float)  # copy: repair may rewrite
         if blocks.ndim == 2:
             self._shared = True
             n = blocks.shape[0]
@@ -73,41 +73,50 @@ class BlockDiagonalCost:
             raise ValueError("blocks must be (N,N) or (P,P,N,N)")
         self._n_ports = n_ports
         self._n = n
-        self._factors: dict[tuple[int, int], tuple] = {}
         self._ridge = ridge
         self._factorize()
 
     def _factorize(self) -> None:
-        shape = (1, 1) if self._shared else (self._n_ports, self._n_ports)
+        """Cholesky-factor every block in one batched call.
+
+        The common case (all blocks SPD after the relative ridge) is a
+        single batched :func:`numpy.linalg.cholesky`; only when that fails
+        does the per-block eigenvalue-repair path run.  Gramians of systems
+        spanning many frequency decades can lose definiteness to roundoff,
+        hence the repair by eigenvalue clipping relative to the dominant
+        eigenvalue.
+        """
+        eye = np.eye(self._n)
+        scale = np.maximum(
+            np.einsum("abii->ab", self._blocks) / self._n, 1e-300
+        )
+        shifted = self._blocks + (self._ridge * scale)[:, :, None, None] * eye
+        try:
+            self._chol = np.linalg.cholesky(shifted)
+            return
+        except np.linalg.LinAlgError:
+            pass
+        shape = shifted.shape[:2]
+        self._chol = np.empty_like(shifted)
         for a in range(shape[0]):
             for b in range(shape[1]):
-                block = self._blocks[a, b]
-                scale = max(float(np.trace(block)) / self._n, 1e-300)
-                shifted = block + self._ridge * scale * np.eye(self._n)
                 try:
-                    self._factors[(a, b)] = scipy.linalg.cho_factor(
-                        shifted, check_finite=False
-                    )
+                    self._chol[a, b] = np.linalg.cholesky(shifted[a, b])
                     continue
-                except scipy.linalg.LinAlgError:
+                except np.linalg.LinAlgError:
                     pass
-                # Gramians of systems spanning many frequency decades can
-                # lose definiteness to roundoff; repair by eigenvalue
-                # clipping relative to the dominant eigenvalue.
+                block = self._blocks[a, b]
                 eigenvalues, vectors = np.linalg.eigh(0.5 * (block + block.T))
                 top = max(float(eigenvalues[-1]), 1e-300)
                 floor = max(self._ridge, 1e-14) * top
                 clipped = np.maximum(eigenvalues, floor)
                 repaired = (vectors * clipped) @ vectors.T
-                if self._shared:
-                    self._blocks = repaired[None, None, :, :]
-                else:
-                    self._blocks[a, b] = repaired
+                self._blocks[a, b] = repaired
                 try:
-                    self._factors[(a, b)] = scipy.linalg.cho_factor(
-                        repaired + floor * np.eye(self._n), check_finite=False
+                    self._chol[a, b] = np.linalg.cholesky(
+                        repaired + floor * eye
                     )
-                except scipy.linalg.LinAlgError as exc:
+                except np.linalg.LinAlgError as exc:
                     raise ValueError(
                         f"cost block ({a},{b}) is not positive definite even "
                         "after eigenvalue repair; increase ridge"
@@ -129,10 +138,64 @@ class BlockDiagonalCost:
             return self._blocks[0, 0]
         return self._blocks[a, b]
 
+    @property
+    def shared(self) -> bool:
+        """True when one block G is shared by all P*P elements."""
+        return self._shared
+
     def solve(self, a: int, b: int, rhs: np.ndarray) -> np.ndarray:
         """Solve G_ab x = rhs (rhs may have multiple columns)."""
         key = (0, 0) if self._shared else (a, b)
-        return scipy.linalg.cho_solve(self._factors[key], rhs, check_finite=False)
+        return scipy.linalg.cho_solve(
+            (self._chol[key], True), rhs, check_finite=False
+        )
+
+    def solve_all(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve G_ab x_ab = rhs[a, b] for every element at once.
+
+        ``rhs`` has shape (P, P, N) or (P, P, N, K).  The shared-block case
+        (the paper's L2 and sensitivity-weighted costs) collapses to a
+        single Cholesky solve with all P*P*K right-hand sides stacked; the
+        per-element case batches one solve per block.
+        """
+        rhs = np.asarray(rhs, dtype=float)
+        squeeze = rhs.ndim == 3
+        if squeeze:
+            rhs = rhs[..., None]
+        p, n = self._n_ports, self._n
+        if rhs.shape[:3] != (p, p, n):
+            raise ValueError(f"rhs must have shape ({p},{p},{n}[,K])")
+        k = rhs.shape[3]
+        if self._shared:
+            stacked = rhs.transpose(2, 0, 1, 3).reshape(n, p * p * k)
+            out = scipy.linalg.cho_solve(
+                (self._chol[0, 0], True), stacked, check_finite=False
+            )
+            out = out.reshape(n, p, p, k).transpose(1, 2, 0, 3)
+        else:
+            out = np.empty_like(rhs)
+            for a in range(p):
+                for b in range(p):
+                    out[a, b] = scipy.linalg.cho_solve(
+                        (self._chol[a, b], True),
+                        rhs[a, b],
+                        check_finite=False,
+                    )
+        return out[..., 0] if squeeze else out
+
+    def solve_flat(self, x: np.ndarray) -> np.ndarray:
+        """Solve H y = x on the flattened (P*P*N,) or (P*P*N, K) layout.
+
+        ``H = blkdiag(G_ab)`` in the row-major element order used by the
+        enforcement QP (:mod:`repro.passivity.perturbation`).
+        """
+        x = np.asarray(x, dtype=float)
+        p, n = self._n_ports, self._n
+        vector = x.ndim == 1
+        k = 1 if vector else x.shape[1]
+        out = self.solve_all(x.reshape(p, p, n, k))
+        flat = out.reshape(p * p * n, k)
+        return flat[:, 0] if vector else flat
 
     def quadratic_value(self, delta_c: np.ndarray) -> float:
         """Evaluate sum_ab delta_c[a,b]^T G_ab delta_c[a,b] for (P,P,N) input."""
@@ -140,12 +203,22 @@ class BlockDiagonalCost:
         expected = (self._n_ports, self._n_ports, self._n)
         if delta_c.shape != expected:
             raise ValueError(f"delta_c must have shape {expected}")
-        total = 0.0
-        for a in range(self._n_ports):
-            for b in range(self._n_ports):
-                v = delta_c[a, b]
-                total += float(v @ self.block(a, b) @ v)
-        return total
+        if self._shared:
+            return float(
+                np.einsum(
+                    "abm,mn,abn->",
+                    delta_c,
+                    self._blocks[0, 0],
+                    delta_c,
+                    optimize=True,
+                )
+            )
+        return float(
+            np.einsum(
+                "abm,abmn,abn->", delta_c, self._blocks, delta_c,
+                optimize=True,
+            )
+        )
 
 
 def l2_gramian_cost(model: PoleResidueModel, *, ridge: float = 1e-10) -> BlockDiagonalCost:
@@ -194,11 +267,7 @@ def relative_error_cost(
     gramian = controllability_gramian(a_e, b_e.reshape(-1, 1))
     rms = np.sqrt(np.mean(np.abs(samples) ** 2, axis=0))
     rms = np.maximum(rms, floor_ratio * float(rms.max()))
-    n = gramian.shape[0]
-    blocks = np.empty((p, p, n, n))
-    for a in range(p):
-        for b in range(p):
-            blocks[a, b] = gramian / (rms[a, b] ** 2)
+    blocks = gramian[None, None, :, :] / (rms**2)[:, :, None, None]
     return BlockDiagonalCost(blocks, p, ridge=ridge)
 
 
@@ -232,9 +301,14 @@ def sampled_norm_cost(
         theta[1:] += 0.5 * np.diff(omega)
     else:
         theta[:] = 1.0
-    block = np.zeros((n, n))
-    for k in range(omega.size):
-        kernel = np.linalg.solve(1j * omega[k] * eye - a_e, b_e)
-        rank1 = np.real(np.outer(np.conj(kernel), kernel))
-        block += (theta[k] / (2.0 * np.pi)) * (weights[k] ** 2) * rank1
+    # Batched kernels k(omega) = (j omega I - A_e)^-1 b_e, then one
+    # weighted sum of rank-1 terms.
+    systems = 1j * omega[:, None, None] * eye - a_e
+    kernels = np.linalg.solve(systems, b_e.astype(complex)[None, :, None])[
+        ..., 0
+    ]
+    coeff = (theta / (2.0 * np.pi)) * weights**2
+    block = np.real(
+        np.einsum("k,km,kn->mn", coeff, np.conj(kernels), kernels)
+    )
     return BlockDiagonalCost(block, model.n_ports, ridge=ridge)

@@ -5,16 +5,27 @@ the violation peaks, solve the minimum-perturbation QP under the chosen
 norm (standard L2 or sensitivity-weighted), accumulate the perturbation
 into the model's residues, repeat until the Hamiltonian test certifies
 passivity.  Poles and the constant term D stay fixed.
+
+The per-iteration checks run through the fast passivity engine
+(:class:`repro.passivity.engine.PassivityChecker`): invariants of the
+Hamiltonian test are cached across the run, and with the default ``"fast"``
+strategy intermediate iterations use the cheap warm-started sampling check
+while the exact Hamiltonian eigenvalue test runs at iteration 0, every
+``exact_every``-th iteration, and for the final certificate.  Whatever the
+strategy, ``report_after`` (and hence ``converged``) always comes from an
+exact Hamiltonian certificate.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.passivity.check import PassivityReport, check_passivity
+from repro.passivity.check import PassivityReport
 from repro.passivity.cost import BlockDiagonalCost
+from repro.passivity.engine import CheckerOptions, PassivityChecker
 from repro.passivity.perturbation import build_constraints
 from repro.passivity.qp import solve_block_qp
 from repro.statespace.poleresidue import PoleResidueModel
@@ -49,6 +60,14 @@ class EnforcementOptions:
         so ||delta_c|| <= max_relative_step * ||c||.  The linearization of
         eq. (8) is only locally valid; ill-conditioned weighted costs can
         otherwise request destabilizing steps along nearly-free directions.
+    checker_strategy:
+        ``"fast"`` (default) drives intermediate iterations with the
+        engine's sampling check; ``"exact"`` runs the Hamiltonian test
+        every iteration.  Either way the final verdict is certified by an
+        exact check.
+    exact_every:
+        In fast mode, cadence of interleaved exact Hamiltonian checks
+        (``0`` disables interleaving).
     """
 
     max_iterations: int = 30
@@ -57,6 +76,8 @@ class EnforcementOptions:
     band_samples: int = 50
     dual_ridge: float = 1e-12
     max_relative_step: float = 0.3
+    checker_strategy: str = "fast"
+    exact_every: int = 5
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -65,11 +86,28 @@ class EnforcementOptions:
             raise ValueError("margin must be in (0, 0.1)")
         if not (0.0 < self.include_threshold <= 1.0):
             raise ValueError("include_threshold must be in (0, 1]")
+        if self.checker_strategy not in ("fast", "exact"):
+            raise ValueError("checker_strategy must be 'fast' or 'exact'")
+        if self.exact_every < 0:
+            raise ValueError("exact_every must be non-negative")
+
+    def checker_options(self) -> CheckerOptions:
+        """Engine configuration implied by these options."""
+        return CheckerOptions(
+            strategy=self.checker_strategy, exact_every=self.exact_every
+        )
 
 
 @dataclass(frozen=True)
 class IterationRecord:
-    """Diagnostics of one enforcement iteration."""
+    """Diagnostics of one enforcement iteration.
+
+    The ``*_seconds`` fields are the per-stage wall-time breakdown used by
+    the CLI ``--profile`` flag; ``check_mode`` records whether this
+    iteration's verdict came from the exact Hamiltonian test or the
+    sampling sweep (``"sampling+certify"`` when a passing sampling check
+    was immediately confirmed by an exact certificate).
+    """
 
     iteration: int
     worst_sigma: float
@@ -77,6 +115,11 @@ class IterationRecord:
     n_bands: int
     n_constraints: int
     perturbation_cost: float
+    check_mode: str = "exact"
+    check_seconds: float = 0.0
+    constraint_seconds: float = 0.0
+    qp_seconds: float = 0.0
+    rebuild_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -87,8 +130,8 @@ class EnforcementResult:
     reports whether the Hamiltonian test certified passivity within the
     iteration cap; ``history`` records per-iteration diagnostics;
     ``report_before``/``report_after`` are the initial and final passivity
-    reports; ``total_delta_c`` is the accumulated residue-coefficient
-    perturbation (P, P, N).
+    reports (both from exact Hamiltonian checks); ``total_delta_c`` is the
+    accumulated residue-coefficient perturbation (P, P, N).
     """
 
     model: PoleResidueModel
@@ -99,11 +142,26 @@ class EnforcementResult:
     report_after: PassivityReport = field(repr=False)
     total_delta_c: np.ndarray = field(repr=False)
 
+    def profile(self) -> dict[str, float]:
+        """Aggregate wall-time breakdown over all iterations (seconds)."""
+        keys = (
+            "check_seconds",
+            "constraint_seconds",
+            "qp_seconds",
+            "rebuild_seconds",
+        )
+        return {
+            key: float(sum(getattr(rec, key) for rec in self.history))
+            for key in keys
+        }
+
 
 def enforce_passivity(
     model: PoleResidueModel,
     cost: BlockDiagonalCost,
     options: EnforcementOptions | None = None,
+    *,
+    initial_report: PassivityReport | None = None,
 ) -> EnforcementResult:
     """Perturb residues until the scattering model is passive.
 
@@ -120,6 +178,11 @@ def enforce_passivity(
         :func:`repro.sensitivity.weighted_norm.sensitivity_weighted_cost`.
     options:
         Loop controls; defaults to :class:`EnforcementOptions()`.
+    initial_report:
+        Optional precomputed *exact* passivity report of ``model`` (from
+        :func:`repro.passivity.check.check_passivity` with the same
+        ``band_samples``); skips the redundant iteration-0 check when the
+        caller already ran one.
     """
     options = options or EnforcementOptions()
     if cost.n_ports != model.n_ports:
@@ -133,8 +196,18 @@ def enforce_passivity(
             "cannot enforce passivity at infinite frequency"
         )
 
-    report_before = check_passivity(model, band_samples=options.band_samples)
+    checker = PassivityChecker(
+        model,
+        band_samples=options.band_samples,
+        options=options.checker_options(),
+    )
+    if initial_report is None:
+        report_before = checker.check_exact(model)
+    else:
+        report_before = initial_report
+        checker.seed(report_before)  # warm-start the sampling grid
     report = report_before
+    report_is_exact = True
     current = model
     total_delta = np.zeros(
         (model.n_ports, model.n_ports, model.element_state_dimension())
@@ -142,6 +215,7 @@ def enforce_passivity(
     history: list[IterationRecord] = []
     iterations = 0
     while iterations < options.max_iterations and not _is_passive(report, options):
+        tic = time.perf_counter()
         frequencies = report.constraint_frequencies()
         constraints = build_constraints(
             current,
@@ -149,9 +223,15 @@ def enforce_passivity(
             margin=options.margin,
             include_threshold=options.include_threshold,
         )
+        constraint_s = time.perf_counter() - tic
+
+        tic = time.perf_counter()
         solution = solve_block_qp(
             cost, constraints, dual_ridge=options.dual_ridge
         )
+        qp_s = time.perf_counter() - tic
+
+        tic = time.perf_counter()
         base_c = current.element_output_vectors()
         delta_c = solution.delta_c
         step_norm = float(np.linalg.norm(delta_c))
@@ -165,8 +245,26 @@ def enforce_passivity(
             )
         total_delta += delta_c
         current = current.with_element_output_vectors(base_c + delta_c)
+        rebuild_s = time.perf_counter() - tic
+
         iterations += 1
-        report = check_passivity(current, band_samples=options.band_samples)
+        tic = time.perf_counter()
+        use_exact = checker.use_exact(iterations)
+        if use_exact:
+            report = checker.check_exact(current)
+            mode = "exact"
+        else:
+            report = checker.check_sampling(current)
+            mode = "sampling"
+            if _is_passive(report, options):
+                # Sampling is not conclusive: certify before declaring
+                # success.  A failed certificate re-enters the loop with
+                # the exact report's bands.
+                report = checker.check_exact(current)
+                mode = "sampling+certify"
+        report_is_exact = mode != "sampling"
+        check_s = time.perf_counter() - tic
+
         record = IterationRecord(
             iteration=iterations,
             worst_sigma=report.worst_sigma,
@@ -174,15 +272,27 @@ def enforce_passivity(
             n_bands=len(report.bands),
             n_constraints=constraints.n_constraints,
             perturbation_cost=solution.cost,
+            check_mode=mode,
+            check_seconds=check_s,
+            constraint_seconds=constraint_s,
+            qp_seconds=qp_s,
+            rebuild_seconds=rebuild_s,
         )
         history.append(record)
         _LOG.info(
-            "enforcement iter %d: worst sigma %.8f (%d bands, %d constraints)",
+            "enforcement iter %d: worst sigma %.8f (%d bands, %d constraints, "
+            "%s check)",
             iterations,
             report.worst_sigma,
             len(report.bands),
             constraints.n_constraints,
+            mode,
         )
+
+    if not report_is_exact:
+        # Iteration cap hit with a sampling report: the result still gets
+        # an exact Hamiltonian certificate.
+        report = checker.check_exact(current)
 
     return EnforcementResult(
         model=current,

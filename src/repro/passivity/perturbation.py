@@ -29,20 +29,63 @@ class ConstraintSet:
 
     ``x`` flattens the (P, P, N) element-coefficient perturbation in C
     order: x[((a * P) + b) * N + n] = delta_c[a, b, n].
+
+    Each row of eq. (8) is the rank-2 tensor ``Re(w_i (x) k_i)`` with
+    ``w_i = conj(u_i) outer conj(v_i)`` (complex, length P^2) and the
+    shared element kernel ``k_i = k(omega_i)`` (complex, length N).  The
+    optional structured fields expose those factors so the QP solver can
+    work in the P^2/N factor spaces instead of sweeping the dense
+    (n_c, P^2 N) matrix: ``w_re``/``w_im`` are (n_c, P^2), ``kernels`` is
+    the (K, N) complex kernel table over the distinct frequencies, and
+    ``freq_index`` maps each row to its kernel.
     """
 
-    matrix: np.ndarray
+    matrix: np.ndarray | None
     bounds: np.ndarray
     frequencies: np.ndarray
     sigmas: np.ndarray
+    w_re: np.ndarray | None = None
+    w_im: np.ndarray | None = None
+    kernels: np.ndarray | None = None
+    freq_index: np.ndarray | None = None
 
     @property
     def n_constraints(self) -> int:
-        return int(self.matrix.shape[0])
+        return int(self.bounds.shape[0])
+
+    @property
+    def structured(self) -> bool:
+        """True when the tensor factors of every row are available."""
+        return (
+            self.w_re is not None
+            and self.w_im is not None
+            and self.kernels is not None
+            and self.freq_index is not None
+        )
+
+    def dense_matrix(self) -> np.ndarray:
+        """The dense (n_c, P*P*N) constraint matrix F.
+
+        Structured sets are built without it (the fast QP path works
+        entirely in factor space), so it is materialized lazily -- only
+        the dense fallback and diagnostics pay for it -- and memoized.
+        """
+        if self.matrix is not None:
+            return self.matrix
+        if not self.structured:
+            raise ValueError(
+                "constraint set has neither a dense matrix nor factors"
+            )
+        w = self.w_re + 1j * self.w_im
+        built = np.real(
+            w[:, :, None] * self.kernels[self.freq_index][:, None, :]
+        ).reshape(self.n_constraints, -1)
+        object.__setattr__(self, "matrix", built)  # memoize (frozen)
+        return built
 
     def residual(self, x: np.ndarray) -> np.ndarray:
         """Constraint slack g - F x (negative entries are violations)."""
-        return self.bounds - self.matrix @ x
+        return self.bounds - self.dense_matrix() @ x
 
 
 def flatten_delta(delta_c: np.ndarray) -> np.ndarray:
@@ -75,38 +118,41 @@ def build_constraints(
     a_e, b_e = model.element_dynamics()
     eye = np.eye(n)
 
-    rows: list[np.ndarray] = []
-    bounds: list[float] = []
-    used_freqs: list[float] = []
-    used_sigmas: list[float] = []
-    for omega in frequencies:
-        response = model.frequency_response(np.array([omega]))[0]
-        u, sigma, vh = np.linalg.svd(response)
-        kernel = np.linalg.solve(1j * omega * eye - a_e, b_e)  # (N,)
-        for i, sigma_i in enumerate(sigma):
-            if sigma_i < include_threshold:
-                continue
-            # Coefficient of delta_c_ab in delta sigma_i:
-            #   Re{ conj(u[a,i]) * v[b,i] * kernel[n] }
-            outer_uv = np.conj(u[:, i])[:, None] * vh[i, :].conj()[None, :]
-            row = np.real(
-                outer_uv[:, :, None] * kernel[None, None, :]
-            ).reshape(-1)
-            rows.append(row)
-            bounds.append((1.0 - margin) - sigma_i)
-            used_freqs.append(float(omega))
-            used_sigmas.append(float(sigma_i))
+    empty = ConstraintSet(
+        matrix=np.zeros((0, p * p * n)),
+        bounds=np.zeros(0),
+        frequencies=np.zeros(0),
+        sigmas=np.zeros(0),
+    )
+    if frequencies.size == 0:
+        return empty
 
-    if not rows:
-        return ConstraintSet(
-            matrix=np.zeros((0, p * p * n)),
-            bounds=np.zeros(0),
-            frequencies=np.zeros(0),
-            sigmas=np.zeros(0),
-        )
+    # Batched SVDs and element kernels over all frequencies at once.
+    responses = model.frequency_response(frequencies)  # (K, P, P)
+    u, sigma, vh = np.linalg.svd(responses)
+    systems = 1j * frequencies[:, None, None] * eye - a_e
+    kernels = np.linalg.solve(systems, b_e.astype(complex)[None, :, None])[
+        ..., 0
+    ]  # (K, N)
+
+    # Row order matches the scalar loop: frequency-major, then singular
+    # values in descending order (numpy's nonzero is row-major).
+    k_idx, i_idx = np.nonzero(sigma >= include_threshold)
+    if k_idx.size == 0:
+        return empty
+    u_sel = np.conj(u[k_idx, :, i_idx])  # (M, P): conj(u[:, i]) per row
+    v_sel = np.conj(vh[k_idx, i_idx, :])  # (M, P): conj(v[b, i]) per row
+    # Coefficient of delta_c_ab in delta sigma_i (paper eq. 8):
+    #   Re{ conj(u[a,i]) * conj(v[b,i]) * kernel[n] } = Re(w (x) k).
+    # Only the factors are stored; the dense matrix is built on demand.
+    w = np.einsum("ma,mb->mab", u_sel, v_sel).reshape(k_idx.size, p * p)
     return ConstraintSet(
-        matrix=np.vstack(rows),
-        bounds=np.asarray(bounds),
-        frequencies=np.asarray(used_freqs),
-        sigmas=np.asarray(used_sigmas),
+        matrix=None,
+        bounds=(1.0 - margin) - sigma[k_idx, i_idx],
+        frequencies=frequencies[k_idx],
+        sigmas=sigma[k_idx, i_idx],
+        w_re=np.ascontiguousarray(w.real),
+        w_im=np.ascontiguousarray(w.imag),
+        kernels=kernels,
+        freq_index=k_idx,
     )

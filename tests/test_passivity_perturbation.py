@@ -37,7 +37,7 @@ class TestConstraintRows:
         assert constraints.n_constraints == 2  # both singular values
 
         delta = 1e-7 * rng.normal(size=(2, 2, model.element_state_dimension()))
-        predicted = constraints.matrix @ flatten_delta(delta)
+        predicted = constraints.dense_matrix() @ flatten_delta(delta)
         base_c = model.element_output_vectors()
         perturbed = model.with_element_output_vectors(base_c + delta)
         sigma_before = np.linalg.svd(
@@ -75,5 +75,5 @@ class TestConstraintRows:
     def test_residual_computation(self, rng):
         model = make_random_stable_model(rng, n_ports=2)
         constraints = build_constraints(model, np.array([2.0]), include_threshold=0.0)
-        x = np.zeros(constraints.matrix.shape[1])
+        x = np.zeros(constraints.dense_matrix().shape[1])
         assert np.allclose(constraints.residual(x), constraints.bounds)
