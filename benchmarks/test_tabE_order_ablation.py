@@ -19,14 +19,19 @@ def test_tabE_order_ablation(benchmark, testcase, artifacts_dir):
             orders=[6, 8, 10, 12, 14, 16],
             target_rms=1e-12,  # explore everything until stagnation
             stagnation_ratio=0.0,
+            warm_start=False,  # independent fits: this is an ablation
         )
 
     result = sweep()
-    lines = ["Table E -- model order ablation (paper uses n = 12)",
-             f"  {'order':>5s} {'rms error':>12s} {'converged':>9s}"]
+    assert result.skipped_orders == []  # no duplicate candidates here
+    lines = ["Table E -- model order ablation (paper uses n = 12, "
+             "independent cold fits)",
+             f"  {'order':>5s} {'rms error':>12s} {'converged':>9s} "
+             f"{'iters':>5s}"]
     for cand in result.candidates:
         lines.append(
-            f"  {cand.n_poles:5d} {cand.rms_error:12.3e} {str(cand.converged):>9s}"
+            f"  {cand.n_poles:5d} {cand.rms_error:12.3e} "
+            f"{str(cand.converged):>9s} {cand.iterations:>5d}"
         )
     save_series(
         artifacts_dir / "tabE_order_ablation.csv",

@@ -18,8 +18,10 @@ into a batch engine:
 from repro.campaign.cache import CachedRun, FlowCache, flow_fingerprint
 from repro.campaign.executor import (
     CampaignResult,
+    default_blas_threads,
     default_jobs,
     execute_scenario,
+    limit_blas_threads,
     run_campaign,
 )
 from repro.campaign.registry import CampaignRegistry, worst_by_group
@@ -38,8 +40,10 @@ __all__ = [
     "FlowCache",
     "flow_fingerprint",
     "CampaignResult",
+    "default_blas_threads",
     "default_jobs",
     "execute_scenario",
+    "limit_blas_threads",
     "run_campaign",
     "CampaignRegistry",
     "worst_by_group",

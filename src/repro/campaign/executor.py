@@ -10,6 +10,21 @@ Failure isolation is two-layered: the worker converts any exception into a
 ``status="failed"`` record (one diverging scenario never aborts the
 campaign), and the dispatcher additionally guards ``future.result()`` so
 even a crashed worker process only fails its own scenario.
+
+Two batch-level optimizations live in :func:`run_campaign`:
+
+* **BLAS thread budgeting** -- every worker process caps its BLAS/OpenMP
+  thread pool to ``cpu_count // jobs`` (overridable).  Without the cap,
+  each worker's BLAS spawns one thread per core and N workers fight over
+  the same cores; the oversubscription used to *erase* the pool speedup
+  (tabH measured 0.98x for 2 workers).  The applied budget and the
+  mechanism that enforced it are recorded in each run record.
+* **Shared standard fits** -- scenarios of a sweep that differ only in
+  termination knobs reuse the same scattering data, so their (expensive,
+  weight-independent) standard vector fits are identical.  The dispatcher
+  groups pending scenarios by standard-fit fingerprint, computes one fit
+  per group through :func:`repro.vectfit.core.fit_many`, and ships the
+  result to the workers.
 """
 
 from __future__ import annotations
@@ -27,8 +42,91 @@ from repro.flow.macromodel import run_flow
 from repro.flow.metrics import flow_accuracy_rows
 from repro.statespace.poleresidue import PoleResidueModel
 from repro.util.logging import enable_console_logging, get_logger
+from repro.vectfit.core import VFResult, fit_many
+from repro.vectfit.options import VFOptions
 
 _LOG = get_logger(__name__)
+
+#: Environment knobs honoured by the common BLAS/OpenMP runtimes; set in
+#: every worker before heavy imports run so freshly-loaded libraries obey
+#: the budget even when the runtime API probe below fails.
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+#: Thread budget applied to this process (None = uncapped), and the
+#: mechanism that enforced it; recorded in run records for forensics.
+_WORKER_BLAS_LIMIT: int | None = None
+_WORKER_BLAS_METHOD: str | None = None
+
+
+def limit_blas_threads(limit: int) -> str:
+    """Best-effort cap of this process's BLAS/OpenMP thread pools.
+
+    Worker processes are forked with NumPy -- and its already-initialized
+    OpenBLAS thread pool -- inherited from the parent, so environment
+    variables alone arrive too late.  Three mechanisms are tried, most
+    reliable first; the one that succeeds is returned (and recorded in
+    run records):
+
+    1. ``threadpoolctl`` when installed (handles every BLAS flavour);
+    2. the runtime ``*set_num_threads`` entry point of the OpenBLAS
+       shared library bundled with the NumPy/SciPy wheels, located via
+       ``ctypes`` (covers the common pip-installed stack);
+    3. the environment variables only (effective for libraries loaded
+       after this call, e.g. under a ``spawn`` start method).
+    """
+    if limit < 1:
+        raise ValueError("limit must be at least 1")
+    for var in _BLAS_ENV_VARS:
+        os.environ[var] = str(limit)
+    try:
+        import threadpoolctl
+
+        threadpoolctl.threadpool_limits(limit)
+        return "threadpoolctl"
+    except ImportError:
+        pass
+    try:
+        import ctypes
+        import glob
+        from pathlib import Path
+
+        import numpy
+
+        site_dir = Path(numpy.__file__).resolve().parent.parent
+        pattern = str(site_dir / "*.libs" / "lib*openblas*.so*")
+        symbols = (
+            "openblas_set_num_threads",
+            "openblas_set_num_threads64_",
+            "scipy_openblas_set_num_threads",
+            "scipy_openblas_set_num_threads64_",
+        )
+        hit = None
+        for shared_object in sorted(glob.glob(pattern)):
+            try:
+                library = ctypes.CDLL(shared_object)
+            except OSError:
+                continue
+            for symbol in symbols:
+                setter = getattr(library, symbol, None)
+                if setter is not None:
+                    setter(int(limit))
+                    hit = "ctypes-openblas"
+        if hit:
+            return hit
+    except Exception:  # noqa: BLE001 -- probing must never break a worker
+        pass
+    return "env-only"
+
+
+def default_blas_threads(jobs: int) -> int:
+    """Per-worker thread budget: share the machine's cores evenly."""
+    return max(1, (os.cpu_count() or 1) // max(jobs, 1))
 
 _HEADLINE_ROWS = {
     "passive, standard cost": "standard_cost",
@@ -84,12 +182,16 @@ def _headline_metrics(table: list[dict], result) -> dict:
 def execute_scenario(
     scenario: ScenarioSpec,
     cache_dir: str | None = None,
+    standard_fit: VFResult | None = None,
 ) -> tuple[dict, PoleResidueModel | None]:
     """Run one scenario end-to-end; never raises.
 
-    Returns ``(record, model)`` where ``record`` is JSON-compatible and
-    ``model`` is the passive weighted-cost macromodel (``None`` when the
-    scenario failed).
+    ``standard_fit`` optionally injects the scenario's precomputed
+    standard vector fit (shared across scenarios reusing the same
+    scattering data); a fit whose order does not match the scenario's
+    options is ignored rather than trusted.  Returns ``(record, model)``
+    where ``record`` is JSON-compatible and ``model`` is the passive
+    weighted-cost macromodel (``None`` when the scenario failed).
     """
     started = time.perf_counter()
     record: dict = {
@@ -100,6 +202,11 @@ def execute_scenario(
         "cache_hit": False,
         "error": None,
         "metrics": None,
+        "environment": {
+            "blas_thread_limit": _WORKER_BLAS_LIMIT,
+            "blas_limit_method": _WORKER_BLAS_METHOD,
+            "shared_standard_fit": standard_fit is not None,
+        },
     }
     try:
         build_start = time.perf_counter()
@@ -107,6 +214,16 @@ def execute_scenario(
         observe_port = scenario.resolve_observe_port(testcase)
         options = scenario.flow_options()
         build_s = time.perf_counter() - build_start
+        if (
+            standard_fit is not None
+            and standard_fit.model.n_poles != options.vf.n_poles
+        ):
+            _LOG.warning(
+                "run %s: shared standard fit order mismatch, recomputing",
+                record["run_id"],
+            )
+            standard_fit = None
+            record["environment"]["shared_standard_fit"] = False
 
         cache = FlowCache(cache_dir) if cache_dir else None
         key = None
@@ -133,7 +250,7 @@ def execute_scenario(
 
         flow_start = time.perf_counter()
         result = run_flow(testcase.data, testcase.termination,
-                          observe_port, options)
+                          observe_port, options, standard_fit=standard_fit)
         flow_s = time.perf_counter() - flow_start
         rows = flow_accuracy_rows(
             result, testcase.data, testcase.termination, observe_port
@@ -221,9 +338,128 @@ class CampaignResult:
         )
 
 
-def _worker_init(log_level: int | None) -> None:
+def _worker_init(log_level: int | None, blas_limit: int | None) -> None:
+    global _WORKER_BLAS_LIMIT, _WORKER_BLAS_METHOD
     if log_level is not None:
         enable_console_logging(log_level)
+    if blas_limit is not None:
+        _WORKER_BLAS_LIMIT = blas_limit
+        _WORKER_BLAS_METHOD = limit_blas_threads(blas_limit)
+
+
+def _standard_fit_key(scenario: ScenarioSpec) -> tuple:
+    """Fingerprint of a scenario's standard vector fit.
+
+    The scattering data depends only on the PDN size and the frequency
+    grid (termination knobs perturb the loading, not the planes; see
+    :func:`repro.pdn.testcase.make_variant_testcase`), and the standard
+    fit additionally only on the VF configuration.
+    """
+    return (
+        scenario.size,
+        scenario.n_frequencies,
+        scenario.include_dc,
+        scenario.n_poles,
+        scenario.vf_kernel,
+    )
+
+
+def _group_fully_cached(base, members: list[ScenarioSpec], cache) -> bool:
+    """True when every scenario of a prefit group will be a cache hit.
+
+    Fingerprinting reuses the group's already-built base testcase: the
+    termination perturbation is cheap (no MNA solve), so probing the
+    content-addressed cache costs hashing only.
+    """
+    from repro.pdn.testcase import perturb_termination
+
+    for scenario in members:
+        termination = perturb_termination(
+            base.termination,
+            decap_c_scale=scenario.decap_c_scale,
+            decap_esr_scale=scenario.decap_esr_scale,
+            vrm_resistance=scenario.vrm_resistance,
+            total_die_current=scenario.total_die_current,
+        )
+        fingerprint = flow_fingerprint(
+            base.data,
+            termination,
+            scenario.resolve_observe_port(base),
+            scenario.flow_options(),
+        )
+        if fingerprint not in cache:
+            return False
+    return True
+
+
+def _shared_standard_fits(
+    scenarios: list[ScenarioSpec],
+    cache: FlowCache | None = None,
+) -> dict[tuple, VFResult]:
+    """One standard fit per group of scenarios sharing scattering data.
+
+    Only groups with at least two members are prefit (a singleton gains
+    nothing from precomputation), and a group whose every member is
+    already served by the content-addressed flow cache is skipped -- a
+    warm-cache campaign pays for fingerprint hashing, not for fits.
+    Groups sharing a frequency grid and VF configuration -- e.g. several
+    PDN sizes swept together -- are fitted in a single :func:`fit_many`
+    call, which amortizes grid validation, starting poles and
+    iteration-0 basis assembly across them.
+    """
+    from repro.pdn.testcase import make_paper_testcase
+
+    members_of: dict[tuple, list[ScenarioSpec]] = {}
+    for scenario in scenarios:
+        members_of.setdefault(_standard_fit_key(scenario), []).append(scenario)
+    shared = [key for key, members in members_of.items() if len(members) > 1]
+    if not shared:
+        return {}
+
+    batches: dict[tuple, list[tuple]] = {}
+    for key in shared:
+        size, n_frequencies, include_dc, n_poles, vf_kernel = key
+        batches.setdefault(
+            (n_frequencies, include_dc, n_poles, vf_kernel), []
+        ).append(key)
+
+    prefits: dict[tuple, VFResult] = {}
+    for (n_frequencies, include_dc, n_poles, vf_kernel), keys in (
+        batches.items()
+    ):
+        fit_keys = []
+        datasets = []
+        for key in keys:
+            base = make_paper_testcase(
+                size=key[0],
+                n_frequencies=n_frequencies,
+                include_dc=include_dc,
+            )
+            if cache is not None and _group_fully_cached(
+                base, members_of[key], cache
+            ):
+                _LOG.info(
+                    "shared standard fits: group %s fully cached, skipped",
+                    key,
+                )
+                continue
+            fit_keys.append(key)
+            datasets.append(base.data)
+        if not fit_keys:
+            continue
+        results = fit_many(
+            datasets[0].omega,
+            [data.samples for data in datasets],
+            options=VFOptions(n_poles=n_poles, kernel=vf_kernel),
+        )
+        for key, result in zip(fit_keys, results):
+            prefits[key] = result
+        _LOG.info(
+            "shared standard fits: %d group(s) at order %d "
+            "(%d points, kernel=%s)",
+            len(fit_keys), n_poles, n_frequencies, vf_kernel,
+        )
+    return prefits
 
 
 def run_campaign(
@@ -236,6 +472,8 @@ def run_campaign(
     resume: bool = False,
     worker_log_level: int | None = None,
     name: str | None = None,
+    share_fits: bool = True,
+    blas_threads: int | None = None,
 ) -> CampaignResult:
     """Execute a campaign: expand, (optionally) resume, dispatch, record.
 
@@ -263,6 +501,13 @@ def run_campaign(
     worker_log_level:
         When set, worker processes attach a console log handler at this
         level so per-run progress survives process boundaries.
+    share_fits:
+        Precompute one standard vector fit per group of scenarios that
+        share scattering data and VF configuration (termination sweeps),
+        instead of refitting it in every worker.
+    blas_threads:
+        Per-worker BLAS/OpenMP thread budget for pooled execution;
+        default ``cpu_count // jobs``.  Serial runs are never capped.
     """
     if isinstance(spec, CampaignSpec):
         campaign_name = name or spec.name
@@ -324,18 +569,40 @@ def run_campaign(
             " (cache hit)" if record.get("cache_hit") else "",
         )
 
+    prefits: dict[tuple, VFResult] = {}
+    if share_fits and len(todo) > 1:
+        prefit_start = time.perf_counter()
+        prefits = _shared_standard_fits(
+            todo, FlowCache(cache_dir) if cache_dir else None
+        )
+        if prefits:
+            _LOG.info(
+                "shared standard fits: %d computed in %.2fs",
+                len(prefits),
+                time.perf_counter() - prefit_start,
+            )
+
+    def _prefit(scenario: ScenarioSpec) -> VFResult | None:
+        return prefits.get(_standard_fit_key(scenario))
+
     if jobs <= 1 or len(todo) <= 1:
         for scenario in todo:
-            _finish(*execute_scenario(scenario, cache_dir))
+            _finish(*execute_scenario(scenario, cache_dir, _prefit(scenario)))
     else:
         max_workers = min(jobs, len(todo))
+        worker_blas = (
+            blas_threads if blas_threads is not None
+            else default_blas_threads(max_workers)
+        )
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_worker_init,
-            initargs=(worker_log_level,),
+            initargs=(worker_log_level, worker_blas),
         ) as pool:
             pending = {
-                pool.submit(execute_scenario, scenario, cache_dir): scenario
+                pool.submit(
+                    execute_scenario, scenario, cache_dir, _prefit(scenario)
+                ): scenario
                 for scenario in todo
             }
             while pending:
@@ -371,7 +638,12 @@ def run_campaign(
     )
     if registry is not None:
         campaign_info = dict(campaign_info)
-        campaign_info.update(jobs=jobs, resume=resume)
+        campaign_info.update(
+            jobs=jobs,
+            resume=resume,
+            share_fits=share_fits,
+            blas_threads=blas_threads,
+        )
         registry.write_manifest(campaign_info, records)
     _LOG.info("%s", result.summary())
     return result

@@ -52,6 +52,10 @@ class ScenarioSpec:
         (sampling-mode intermediate iterations, exact Hamiltonian
         certification) or ``"exact"`` (Hamiltonian test every iteration);
         see :class:`repro.passivity.engine.CheckerOptions`.
+    vf_kernel:
+        Vector-fitting linear-algebra kernel: ``"batched"`` (stacked
+        batched LAPACK, default) or ``"reference"`` (per-column loops);
+        see :class:`repro.vectfit.options.VFOptions`.
     """
 
     name: str = "scenario"
@@ -71,6 +75,7 @@ class ScenarioSpec:
     enforcement_max_iterations: int = 30
     checker_strategy: str = "fast"
     checker_exact_every: int = 5
+    vf_kernel: str = "batched"
 
     # ------------------------------------------------------------------
     # Derived objects
@@ -78,7 +83,7 @@ class ScenarioSpec:
     def flow_options(self) -> FlowOptions:
         """The flow configuration this scenario describes."""
         return FlowOptions(
-            vf=VFOptions(n_poles=self.n_poles),
+            vf=VFOptions(n_poles=self.n_poles, kernel=self.vf_kernel),
             weight_mode=self.weight_mode,
             weight_floor=self.weight_floor,
             refinement_rounds=self.refinement_rounds,

@@ -76,7 +76,9 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     out = Path(args.output_dir)
     out.mkdir(parents=True, exist_ok=True)
     data = read_touchstone(args.data)
-    options = VFOptions(n_poles=args.poles, dc_exact=args.dc_exact)
+    options = VFOptions(
+        n_poles=args.poles, dc_exact=args.dc_exact, kernel=args.kernel
+    )
     result = vector_fit(data.omega, data.samples, options=options)
     save_model(result.model, out / "model.json")
     report = check_passivity(result.model)
@@ -109,7 +111,7 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         return 2
 
     options = FlowOptions(
-        vf=VFOptions(n_poles=args.poles),
+        vf=VFOptions(n_poles=args.poles, kernel=args.kernel),
         weight_mode=args.weight_mode,
         refinement_rounds=args.refinement_rounds,
         weight_model_order=args.weight_order,
@@ -215,6 +217,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         jobs=jobs,
         resume=args.resume,
         worker_log_level=_log_level(args),
+        share_fits=not args.no_shared_fits,
+        blas_threads=args.blas_threads,
     )
     report = campaign_report(result)
     (out / "report.txt").write_text(report + "\n", encoding="utf-8")
@@ -307,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("--poles", type=int, default=12)
     p_fit.add_argument("--dc-exact", action="store_true")
     p_fit.add_argument("--output-dir", default="fit")
+    _add_kernel_flag(p_fit)
     p_fit.set_defaults(func=_cmd_fit)
 
     p_flow = sub.add_parser("flow", help="run the full paper pipeline")
@@ -320,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--weight-order", type=int, default=8)
     p_flow.add_argument("--low-band-hz", type=float, default=1e6)
     p_flow.add_argument("--output-dir", default="flow")
+    _add_kernel_flag(p_flow)
     _add_checker_flags(p_flow)
     p_flow.add_argument(
         "--exact-every", type=int, default=5,
@@ -369,6 +375,16 @@ def build_parser() -> argparse.ArgumentParser:
         "across campaigns)",
     )
     p_camp.add_argument("--output-dir", default="campaigns")
+    p_camp.add_argument(
+        "--no-shared-fits", action="store_true",
+        help="disable precomputing one shared standard vector fit per "
+        "group of scenarios reusing the same scattering data",
+    )
+    p_camp.add_argument(
+        "--blas-threads", type=int, default=None,
+        help="per-worker BLAS/OpenMP thread budget (default: CPU count "
+        "divided by the worker count; prevents oversubscription)",
+    )
     _add_checker_flags(p_camp, override=True)
     p_camp.add_argument(
         "--profile", action="store_true",
@@ -377,6 +393,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_camp.set_defaults(func=_cmd_campaign)
     return parser
+
+
+def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
+    """--kernel selection of the vector-fitting linear-algebra path."""
+    parser.add_argument(
+        "--kernel", choices=["batched", "reference"], default="batched",
+        help="vector-fitting kernel: stacked batched LAPACK (default) or "
+        "the per-column reference loops",
+    )
 
 
 def _add_checker_flags(

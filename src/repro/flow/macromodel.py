@@ -43,7 +43,7 @@ from repro.sensitivity.weightmodel import SensitivityWeight, build_weight_model
 from repro.sensitivity.zpdn import target_impedance, target_impedance_of_model
 from repro.sparams.network import NetworkData
 from repro.util.logging import get_logger
-from repro.vectfit.core import VFResult, vector_fit
+from repro.vectfit.core import VFResult, fit_many, vector_fit
 from repro.vectfit.options import VFOptions
 
 _LOG = get_logger(__name__)
@@ -176,13 +176,19 @@ class MacromodelingFlow:
         observe_port: int,
         weights: np.ndarray,
         reference: np.ndarray,
+        initial_result: VFResult | None = None,
     ) -> tuple[VFResult, np.ndarray]:
         """Stage 3: weighted fit with iterative refinement (ref. [23]).
 
-        Returns the final fit and the final weight vector.
+        ``initial_result`` optionally supplies the fit of the unrefined
+        ``weights`` (e.g. from a batched :func:`fit_many` call) so the
+        first vector fit is not recomputed.  Returns the final fit and
+        the final weight vector.
         """
         w = weights.copy()
-        result = vector_fit(data.omega, data.samples, w, self.options.vf)
+        result = initial_result
+        if result is None:
+            result = vector_fit(data.omega, data.samples, w, self.options.vf)
         for round_index in range(self.options.refinement_rounds):
             errors = np.abs(
                 target_impedance_of_model(
@@ -220,19 +226,43 @@ class MacromodelingFlow:
         data: NetworkData,
         termination: TerminationNetwork,
         observe_port: int,
+        *,
+        standard_fit: VFResult | None = None,
     ) -> FlowResult:
-        """Run all stages; see :class:`FlowResult` for the outputs."""
+        """Run all stages; see :class:`FlowResult` for the outputs.
+
+        The sensitivity Xi_k (eq. 5) is computed from the raw samples, so
+        the base weights exist before any fitting: the standard fit and
+        the first weighted fit share one :func:`fit_many` call (shared
+        grid validation, starting poles and iteration-0 basis work).
+
+        ``standard_fit`` optionally injects a precomputed standard fit of
+        the *same* data under the *same* VF options -- the campaign
+        executor shares one standard fit across all scenarios of a sweep
+        that reuse the scattering data (termination perturbations leave
+        it untouched).  The injected result must equal what
+        :meth:`fit_standard` would compute; :func:`fit_many` guarantees
+        that determinism.
+        """
         if data.kind != "s":
             raise ValueError("the flow expects scattering data")
         omega = data.omega
         reference = target_impedance(
             data.samples, omega, termination, observe_port, z0=data.z0
         )
-        standard = self.fit_standard(data)
         xi = self.compute_sensitivity(data, termination, observe_port)
         base = self.base_weights(data, xi, reference)
+        if standard_fit is None:
+            standard, weighted0 = fit_many(
+                omega, [data.samples, data.samples], [None, base],
+                self.options.vf,
+            )
+        else:
+            standard = standard_fit
+            weighted0 = vector_fit(omega, data.samples, base, self.options.vf)
         weighted, final_weights = self.fit_weighted(
-            data, termination, observe_port, base, reference
+            data, termination, observe_port, base, reference,
+            initial_result=weighted0,
         )
         weight_model = self.build_weight_model(data, base)
         report = check_passivity(
@@ -273,11 +303,15 @@ def run_flow(
     termination: TerminationNetwork,
     observe_port: int,
     options: FlowOptions | None = None,
+    standard_fit: VFResult | None = None,
 ) -> FlowResult:
     """Pure functional entry point to the full pipeline.
 
     Module-level (hence picklable) so campaign workers can ship it to
     subprocesses; all state lives in the arguments, which are themselves
-    plain-data containers.
+    plain-data containers.  ``standard_fit`` forwards a shared
+    precomputed standard fit (see :meth:`MacromodelingFlow.run`).
     """
-    return MacromodelingFlow(options).run(data, termination, observe_port)
+    return MacromodelingFlow(options).run(
+        data, termination, observe_port, standard_fit=standard_fit
+    )

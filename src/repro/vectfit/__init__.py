@@ -9,7 +9,7 @@ minimum-phase sensitivity weighting subsystem of eq. (17).
 
 from repro.vectfit.options import VFOptions
 from repro.vectfit.starting_poles import initial_poles
-from repro.vectfit.core import VFResult, vector_fit
+from repro.vectfit.core import VFResult, fit_many, vector_fit
 from repro.vectfit.magnitude import MagnitudeFitResult, fit_magnitude
 from repro.vectfit.order_selection import (
     OrderCandidate,
@@ -21,6 +21,7 @@ __all__ = [
     "VFOptions",
     "initial_poles",
     "VFResult",
+    "fit_many",
     "vector_fit",
     "MagnitudeFitResult",
     "fit_magnitude",

@@ -19,6 +19,27 @@ Real-coefficient bases are used throughout: a real pole contributes the
 basis function 1/(s-p); a conjugate pair (p, conj p) contributes
 1/(s-p) + 1/(s-conj p) and j/(s-p) - j/(s-conj p), so all least-squares
 unknowns are real and the fitted model is exactly conjugate-symmetric.
+
+Two interchangeable kernels drive the linear algebra
+(``VFOptions.kernel``):
+
+* ``"batched"`` (default) -- all M = P^2 column blocks of the relocation
+  stage are assembled as one ``(M, 2K, cols)`` tensor and QR-compressed by
+  a single batched LAPACK call; the residue stage solves all columns
+  against one factorization when the weights are shared across columns
+  (the common case) and falls back to a batched per-column QR solve for
+  column-dependent weights.  No Python-level per-column work remains.
+* ``"reference"`` -- the original per-column loops, kept as the
+  equivalence oracle for tests and benchmarks.
+
+Both kernels run the same math on the same operands, so their results
+agree to roundoff; see ``tests/test_vectfit_batched.py``.
+
+:func:`fit_many` extends the same machinery to several response sets
+sharing a frequency grid: identical sets collapse to one fit, and sets
+whose pole sets coincide at an iteration (always true at iteration 0)
+share the basis assembly and column equilibration; each set then runs
+its own batched compression.
 """
 
 from __future__ import annotations
@@ -30,6 +51,7 @@ import numpy as np
 from repro.statespace.poleresidue import PoleResidueModel, _analyse_pole_structure
 from repro.util.logging import get_logger
 from repro.util.validation import check_frequency_grid, check_square_stack
+from repro.vectfit import kernels
 from repro.vectfit.options import VFOptions
 from repro.vectfit.starting_poles import initial_poles
 
@@ -154,22 +176,12 @@ def _coefficients_to_residues(
 
 def _realify(matrix: np.ndarray) -> np.ndarray:
     """Stack real and imaginary parts of rows: (K, n) complex -> (2K, n) real."""
-    return np.vstack([matrix.real, matrix.imag])
+    return kernels.realify_rows(matrix)
 
 
 def _scaled_lstsq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Least squares with column equilibration.
-
-    Partial-fraction bases spanning many frequency decades have column
-    norms differing by ~1e9, which caps the attainable LS accuracy at
-    cond * eps ~ 1e-4 -- fatal for sensitivity weighting, which needs the
-    low-frequency residual driven far below that.  Normalizing columns to
-    unit norm reduces the condition number to O(10) here.
-    """
-    norms = np.linalg.norm(a, axis=0)
-    norms = np.where(norms > 0.0, norms, 1.0)
-    solution, *_ = np.linalg.lstsq(a / norms, b, rcond=None)
-    return solution / norms
+    """Least squares with column equilibration (see kernels.scaled_lstsq)."""
+    return kernels.scaled_lstsq(a, b)
 
 
 # ----------------------------------------------------------------------
@@ -222,42 +234,56 @@ def _normalize_weights(
     )
 
 
-def _relocate(
-    omega: np.ndarray,
-    responses: np.ndarray,
-    weights: np.ndarray,
-    poles: np.ndarray,
-    options: VFOptions,
-) -> np.ndarray:
-    """One pole-relocation step; returns the new canonical pole set."""
-    k, m = responses.shape
-    n = poles.size
-    phi = _basis(omega, poles)
-    cols_model = n + (1 if options.fit_const else 0)
-    cols_sigma = n + (1 if options.relaxed else 0)
+# ----------------------------------------------------------------------
+# Pole relocation
+# ----------------------------------------------------------------------
+def _sigma_scales(
+    phi: np.ndarray, k: int, options: VFOptions
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared column equilibration of the relocation stage.
 
-    # Shared column equilibration: the sigma columns must be scaled
-    # identically across responses (they are pooled), and equilibration is
-    # what keeps the 7-decade basis solvable to ~1e-8 instead of ~1e-4.
+    The sigma columns must be scaled identically across responses (they
+    are pooled), and equilibration is what keeps the 7-decade basis
+    solvable to ~1e-8 instead of ~1e-4.
+    """
+    n = phi.shape[1]
     phi_scale = np.linalg.norm(_realify(phi), axis=0)
     phi_scale = np.where(phi_scale > 0.0, phi_scale, 1.0)
+    cols_sigma = n + (1 if options.relaxed else 0)
     sigma_scale = np.empty(cols_sigma)
     sigma_scale[:n] = phi_scale
     if options.relaxed:
         sigma_scale[n] = np.sqrt(float(k))
+    return phi_scale, sigma_scale
 
-    pooled_rows: list[np.ndarray] = []
-    pooled_rhs: list[np.ndarray] = []
+
+def _sigma_compress_reference(
+    responses: np.ndarray,
+    weights: np.ndarray,
+    phi_scaled: np.ndarray,
+    sigma_scale: np.ndarray,
+    options: VFOptions,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-column QR compression (original loop); returns stacked rows.
+
+    The result is ``(M, ms, cols_sigma)`` rows and ``(M, ms)`` right-hand
+    sides, where only the rows coupling to the shared sigma unknowns
+    survive into the pooled system.
+    """
+    k, m = responses.shape
+    n = phi_scaled.shape[1]
+    cols_model = n + (1 if options.fit_const else 0)
+    cols_sigma = sigma_scale.size
+    rows_list = []
+    rhs_list = []
     for col in range(m):
         w = weights[:, col]
         h = responses[:, col]
         block = np.empty((k, cols_model + cols_sigma), dtype=complex)
-        block[:, :n] = (phi / phi_scale[None, :]) * w[:, None]
+        block[:, :n] = phi_scaled * w[:, None]
         if options.fit_const:
             block[:, n] = w
-        block[:, cols_model : cols_model + n] = (
-            -(h * w)[:, None] * phi / phi_scale[None, :]
-        )
+        block[:, cols_model : cols_model + n] = -(h * w)[:, None] * phi_scaled
         if options.relaxed:
             block[:, cols_model + n] = -(h * w) / sigma_scale[n]
             rhs = np.zeros(k, dtype=complex)
@@ -265,16 +291,127 @@ def _relocate(
             rhs = h * w
         a_real = _realify(block)
         rhs_real = _realify(rhs.reshape(-1, 1))[:, 0]
-        # QR-compress: only the rows coupling to the shared sigma unknowns
-        # survive into the pooled system.
-        q, r = np.linalg.qr(np.column_stack([a_real, rhs_real]))
-        r_sigma = r[cols_model : cols_model + cols_sigma, cols_model:-1]
-        rhs_sigma = r[cols_model : cols_model + cols_sigma, -1]
-        pooled_rows.append(r_sigma)
-        pooled_rhs.append(rhs_sigma)
+        _, r = np.linalg.qr(np.column_stack([a_real, rhs_real]))
+        rows_list.append(r[cols_model : cols_model + cols_sigma, cols_model:-1])
+        rhs_list.append(r[cols_model : cols_model + cols_sigma, -1])
+    return np.stack(rows_list), np.stack(rhs_list)
 
-    g = np.vstack(pooled_rows)
-    rhs = np.concatenate(pooled_rhs)
+
+def _sigma_compress_batched(
+    responses: np.ndarray,
+    weights: np.ndarray,
+    phi_scaled: np.ndarray,
+    sigma_scale: np.ndarray,
+    options: VFOptions,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched QR compression: all column blocks in one LAPACK call.
+
+    Two structural facts cut the work far below the reference loop:
+
+    * In relaxed mode the per-column right-hand side is identically zero,
+      so its column never needs to enter the factorization -- the
+      compressed right-hand side is zero by construction.
+    * With weights shared across columns (per-frequency user weights, the
+      common case) the model block ``[W phi, w]`` is *identical* for
+      every column.  It is eliminated once with a single thin QR, the
+      sigma blocks are projected onto its orthogonal complement with two
+      batched GEMMs, and only the projected ``(M, 2K, cols_sigma)``
+      stack -- a third of the reference column count -- goes through the
+      batched QR.  No reorthogonalization pass follows the one-sided
+      projection; see the comment at the QR site for why the pooled
+      normal equations make it unnecessary.
+
+    Column-dependent weights fall back to factorizing the full stacked
+    ``(M, 2K, cols_model + cols_sigma (+1))`` tensor, still as one
+    batched ``np.linalg.qr(mode="r")`` with no Python per-column work.
+    In every case the returned ``(M, ms, cols_sigma)`` rows and
+    ``(M, ms)`` right-hand sides satisfy the same pooled normal
+    equations as the reference path's, so the pooled sigma solve is
+    unchanged up to roundoff.
+    """
+    k, m = responses.shape
+    n = phi_scaled.shape[1]
+    cols_model = n + (1 if options.fit_const else 0)
+    cols_sigma = sigma_scale.size
+    hw = (responses * weights).T  # (M, K)
+    extra = 0 if options.relaxed else 1
+
+    if kernels.shared_weights(weights):
+        w = weights[:, 0]
+        a1 = np.empty((k, cols_model), dtype=complex)
+        a1[:, :n] = phi_scaled * w[:, None]
+        if options.fit_const:
+            a1[:, n] = w
+        q1, _ = np.linalg.qr(kernels.realify_rows(a1))
+        a2 = np.empty((m, k, cols_sigma + extra), dtype=complex)
+        a2[:, :, :n] = -hw[:, :, None] * phi_scaled[None, :, :]
+        if options.relaxed:
+            a2[:, :, n] = -hw / sigma_scale[n]
+        else:
+            a2[:, :, -1] = hw
+        a2r = kernels.realify_rows(a2)  # (M, 2K, cols_sigma + extra)
+        z = np.matmul(q1.T, a2r)
+        a2p = a2r - np.matmul(q1, z)
+        r = np.linalg.qr(a2p, mode="r")
+        # One-sided block Gram-Schmidt loses *relative* accuracy on
+        # columns nearly inside span(A1) (flat scattering entries put
+        # whole sigma blocks there), but the pooled normal equations sum
+        # absolute contributions across all M slices: the projection
+        # error stays at eps * ||a2r||, the same order as the Gram's own
+        # roundoff, so no reorthogonalization pass is needed -- measured
+        # agreement with the reference path is ~1e-12 relative with or
+        # without one, and the second pass would re-fire every iteration
+        # on the degenerate-by-construction columns.
+        rows = r[:, :cols_sigma, :cols_sigma]
+        if options.relaxed:
+            rhs = np.zeros(rows.shape[:2])
+        else:
+            rhs = r[:, :cols_sigma, -1]
+        return rows, rhs
+
+    wt = weights.T  # (M, K)
+    block = np.empty(
+        (m, k, cols_model + cols_sigma + extra), dtype=complex
+    )
+    block[:, :, :n] = phi_scaled[None, :, :] * wt[:, :, None]
+    if options.fit_const:
+        block[:, :, n] = wt
+    block[:, :, cols_model : cols_model + n] = (
+        -hw[:, :, None] * phi_scaled[None, :, :]
+    )
+    if options.relaxed:
+        block[:, :, cols_model + n] = -hw / sigma_scale[n]
+    else:
+        block[:, :, -1] = hw
+    stacked = kernels.realify_rows(block)  # (M, 2K, C)
+    r = np.linalg.qr(stacked, mode="r")
+    rows = r[:, cols_model : cols_model + cols_sigma,
+             cols_model : cols_model + cols_sigma]
+    if options.relaxed:
+        rhs = np.zeros(rows.shape[:2])
+    else:
+        rhs = r[:, cols_model : cols_model + cols_sigma, -1]
+    return rows, rhs
+
+
+def _solve_sigma_poles(
+    rows: np.ndarray,
+    rhs_rows: np.ndarray,
+    phi: np.ndarray,
+    phi_scale: np.ndarray,
+    sigma_scale: np.ndarray,
+    responses: np.ndarray,
+    weights: np.ndarray,
+    poles: np.ndarray,
+    omega: np.ndarray,
+    options: VFOptions,
+) -> np.ndarray:
+    """Pooled sigma solve + zero computation; returns the new pole set."""
+    k = responses.shape[0]
+    n = poles.size
+    cols_sigma = sigma_scale.size
+    g = rows.reshape(-1, cols_sigma)
+    rhs = rhs_rows.reshape(-1)
     if options.relaxed:
         # Non-triviality: sum_k Re sigma(j omega_k) = K, weighted to the
         # scale of the data so it neither dominates nor vanishes.
@@ -303,7 +440,34 @@ def _relocate(
     return canonicalize_poles(zeros)
 
 
-def _identify_residues(
+def _relocate(
+    omega: np.ndarray,
+    responses: np.ndarray,
+    weights: np.ndarray,
+    poles: np.ndarray,
+    options: VFOptions,
+) -> np.ndarray:
+    """One pole-relocation step; returns the new canonical pole set."""
+    phi = _basis(omega, poles)
+    phi_scale, sigma_scale = _sigma_scales(phi, omega.size, options)
+    compress = (
+        _sigma_compress_batched
+        if options.kernel == "batched"
+        else _sigma_compress_reference
+    )
+    rows, rhs_rows = compress(
+        responses, weights, phi / phi_scale, sigma_scale, options
+    )
+    return _solve_sigma_poles(
+        rows, rhs_rows, phi, phi_scale, sigma_scale,
+        responses, weights, poles, omega, options,
+    )
+
+
+# ----------------------------------------------------------------------
+# Residue identification
+# ----------------------------------------------------------------------
+def _identify_residues_reference(
     omega: np.ndarray,
     responses: np.ndarray,
     weights: np.ndarray,
@@ -311,15 +475,7 @@ def _identify_residues(
     options: VFOptions,
     fixed_const: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Final weighted LS for residues and constant term.
-
-    With ``fixed_const`` (length M), the constant term is pinned (used by
-    the asymptotic-passivity projection) and only residues are solved.
-    With ``options.dc_exact`` the DC sample is interpolated exactly by
-    eliminating the constant: fit the shifted data on the shifted basis
-    phi(omega) - phi(0), then back out d = S(0) - sum c_n phi_n(0).
-    Returns (residues (M, N) complex, const (M,) real).
-    """
+    """Per-column weighted LS loop (original implementation)."""
     k, m = responses.shape
     n = poles.size
     phi = _basis(omega, poles)
@@ -348,7 +504,7 @@ def _identify_residues(
             block[:, n] = w
         a_real = _realify(block)
         rhs_real = _realify((target * w).reshape(-1, 1))[:, 0]
-        solution = _scaled_lstsq(a_real, rhs_real)
+        solution = kernels.scaled_lstsq(a_real, rhs_real)
         coefficients[col] = solution[:n]
         if solve_const:
             const[col] = solution[n]
@@ -356,6 +512,140 @@ def _identify_residues(
             const[col] = dc_values[col] - float(phi_dc @ solution[:n])
     residues = _coefficients_to_residues(poles, coefficients)
     return residues, const
+
+
+def _identify_residues_batched(
+    omega: np.ndarray,
+    responses: np.ndarray,
+    weights: np.ndarray,
+    poles: np.ndarray,
+    options: VFOptions,
+    fixed_const: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grouped residue solve: one factorization for shared weights.
+
+    When all columns share one weight vector (per-frequency user weights,
+    the common case), the design matrix is identical for every column and
+    a single equilibrated multi-RHS ``lstsq`` solves all M right-hand
+    sides at once.  Column-dependent weights fall back to a batched
+    per-column QR solve (:func:`kernels.batched_qr_solve`).  Both paths
+    cover the ``dc_exact``, ``fixed_const`` and plain/relaxed variants.
+    """
+    k, m = responses.shape
+    n = poles.size
+    phi = _basis(omega, poles)
+    dc_exact = options.dc_exact and fixed_const is None
+    if dc_exact:
+        if omega[0] != 0.0:
+            raise ValueError("dc_exact requires a DC sample (omega[0] == 0)")
+        phi_dc = phi[0].real
+        dc_values = responses[0].real
+        base = phi - phi_dc[None, :]
+        targets = responses - dc_values[None, :]
+    else:
+        base = phi
+        targets = responses
+    solve_const = options.fit_const and fixed_const is None and not dc_exact
+    const = np.zeros(m) if fixed_const is None else np.asarray(fixed_const, float)
+    if fixed_const is not None:
+        targets = responses - const[None, :]
+
+    if kernels.shared_weights(weights):
+        w = weights[:, 0]
+        cols = n + (1 if solve_const else 0)
+        block = np.empty((k, cols), dtype=complex)
+        block[:, :n] = base * w[:, None]
+        if solve_const:
+            block[:, n] = w
+        a_real = _realify(block)
+        rhs_real = _realify(targets * w[:, None])  # (2K, M)
+        solution = kernels.scaled_lstsq(a_real, rhs_real)  # (cols, M)
+        coefficients = solution[:n].T
+        if solve_const:
+            const = solution[n].copy()
+    else:
+        wt = weights.T  # (M, K)
+        stack = base[None, :, :] * wt[:, :, None]  # (M, K, N)
+        if solve_const:
+            stack = np.concatenate([stack, wt[:, :, None]], axis=2)
+        a_real = kernels.realify_rows(stack)
+        rhs = targets.T * wt  # (M, K)
+        rhs_real = kernels.realify_rows(rhs[:, :, None])[:, :, 0]
+        solution = kernels.batched_qr_solve(a_real, rhs_real)  # (M, cols)
+        coefficients = solution[:, :n]
+        if solve_const:
+            const = solution[:, n].copy()
+    if dc_exact:
+        const = dc_values - coefficients @ phi_dc
+    residues = _coefficients_to_residues(poles, coefficients)
+    return residues, const
+
+
+def _identify_residues(
+    omega: np.ndarray,
+    responses: np.ndarray,
+    weights: np.ndarray,
+    poles: np.ndarray,
+    options: VFOptions,
+    fixed_const: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Final weighted LS for residues and constant term.
+
+    With ``fixed_const`` (length M), the constant term is pinned (used by
+    the asymptotic-passivity projection) and only residues are solved.
+    With ``options.dc_exact`` the DC sample is interpolated exactly by
+    eliminating the constant: fit the shifted data on the shifted basis
+    phi(omega) - phi(0), then back out d = S(0) - sum c_n phi_n(0).
+    Returns (residues (M, N) complex, const (M,) real).
+    """
+    identify = (
+        _identify_residues_batched
+        if options.kernel == "batched"
+        else _identify_residues_reference
+    )
+    return identify(omega, responses, weights, poles, options, fixed_const)
+
+
+def _symmetric_reduction(
+    samples: np.ndarray,
+    weight_table: np.ndarray,
+    *,
+    rel_tol: float = 1e-9,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Reduced relocation columns for reciprocal (symmetric) data.
+
+    Scattering data of reciprocal networks satisfies S_ij = S_ji, so the
+    (i, j) and (j, i) relocation blocks coincide and only the P(P+1)/2
+    upper-triangle columns need to be assembled and factorized.  A
+    duplicated block contributes twice to the pooled normal equations,
+    which is exactly a sqrt(2) row scaling of the unique block -- and
+    every column of a block is linear in the (weighted) response, so the
+    scaling folds into the response values.  Solver roundoff leaves the
+    tabulated data symmetric only to ~1e-12, so each pair is *averaged*:
+    the pooled-Gram error of the averaged pair is second order in the
+    asymmetry (||S - S^T||^2, ~1e-23 here), far below the first-order
+    error that picking one triangle would commit.  Returns the reduced
+    ``(K, P(P+1)/2)`` response and weight tables (upper-triangle columns,
+    off-diagonal responses scaled by sqrt(2)), or ``None`` when the data
+    or weights are not symmetric to within ``rel_tol``.
+    """
+    k, p, _ = samples.shape
+    if p == 1:
+        return None
+    scale = float(np.abs(samples).max())
+    if scale <= 0.0:
+        return None
+    if float(np.abs(samples - samples.transpose(0, 2, 1)).max()) > rel_tol * scale:
+        return None
+    table = weight_table.reshape(k, p, p)
+    if not np.array_equal(table, table.transpose(0, 2, 1)):
+        return None
+    iu, ju = np.triu_indices(p)
+    reduced = (
+        0.5 * (samples[:, iu, ju] + samples[:, ju, iu])
+        * np.where(iu == ju, 1.0, np.sqrt(2.0))
+    )
+    return reduced, table[:, iu, ju]
 
 
 def _pole_change(old: np.ndarray, new: np.ndarray) -> float:
@@ -369,66 +659,19 @@ def _pole_change(old: np.ndarray, new: np.ndarray) -> float:
     return float(np.max(diff / scale))
 
 
-def vector_fit(
+def _characterize(
     omega: np.ndarray,
     samples: np.ndarray,
-    weights: np.ndarray | None = None,
-    options: VFOptions | None = None,
+    responses: np.ndarray,
+    weight_table: np.ndarray,
+    poles: np.ndarray,
+    options: VFOptions,
+    iterations: int,
+    converged: bool,
+    history: list,
 ) -> VFResult:
-    """Fit a common-pole matrix pole-residue model to sampled data.
-
-    Parameters
-    ----------
-    omega:
-        Angular frequency grid (rad/s), strictly increasing, may include 0.
-    samples:
-        Complex data stack, shape (K, P, P).
-    weights:
-        Optional least-squares weights: per-frequency shape (K,) -- the
-        paper's sensitivity weights w_k = Xi_k -- or per-entry (K, P, P).
-    options:
-        Algorithm options; defaults to :class:`VFOptions()`.
-    """
-    options = options or VFOptions()
-    omega = check_frequency_grid(np.asarray(omega, dtype=float))
-    samples = check_square_stack(samples, "samples")
-    if samples.shape[0] != omega.size:
-        raise ValueError("samples and omega must agree on K")
+    """Residue identification, asymptotic projection and error metrics."""
     k, p, _ = samples.shape
-    if omega[omega > 0.0].size < 2:
-        raise ValueError("need at least two positive frequencies")
-    if options.n_poles >= 2 * k:
-        raise ValueError(
-            f"model order {options.n_poles} too high for {k} frequency samples"
-        )
-
-    responses = samples.reshape(k, p * p)
-    weight_table = _normalize_weights(weights, samples.shape)
-
-    if options.initial_poles is not None:
-        poles = canonicalize_poles(np.asarray(options.initial_poles, dtype=complex))
-        if poles.size != options.n_poles:
-            raise ValueError(
-                f"initial_poles has {poles.size} poles, options request "
-                f"{options.n_poles}"
-            )
-    else:
-        poles = initial_poles(omega, options.n_poles)
-
-    history = [poles.copy()]
-    converged = False
-    iterations = 0
-    for iteration in range(options.n_iterations):
-        new_poles = _relocate(omega, responses, weight_table, poles, options)
-        change = _pole_change(poles, new_poles)
-        poles = new_poles
-        history.append(poles.copy())
-        iterations = iteration + 1
-        if change < options.pole_convergence_tol:
-            converged = True
-            break
-    _LOG.debug("vector_fit: %d iterations, converged=%s", iterations, converged)
-
     residues, const_flat = _identify_residues(
         omega, responses, weight_table, poles, options
     )
@@ -471,3 +714,211 @@ def vector_fit(
         converged=converged,
         pole_history=history,
     )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+@dataclass
+class _FitState:
+    """Per-set iteration state of :func:`fit_many`.
+
+    ``compress_responses`` / ``compress_weights`` are the column tables
+    fed to the relocation compression -- the symmetric upper-triangle
+    reduction when the data allows it, the full tables otherwise.  The
+    full tables always drive the relaxation row and the residue stage.
+    """
+
+    responses: np.ndarray
+    weight_table: np.ndarray
+    samples: np.ndarray
+    poles: np.ndarray
+    history: list
+    compress_responses: np.ndarray
+    compress_weights: np.ndarray
+    iterations: int = 0
+    converged: bool = False
+
+    @property
+    def active(self) -> bool:
+        return not self.converged
+
+
+def fit_many(
+    omega: np.ndarray,
+    samples: list[np.ndarray],
+    weights: list[np.ndarray | None] | None = None,
+    options: VFOptions | None = None,
+) -> list[VFResult]:
+    """Fit several response sets sharing one frequency grid in one call.
+
+    Each entry of ``samples`` is an independent (K, P_i, P_i) data stack
+    fitted exactly as :func:`vector_fit` would fit it (same starting
+    poles, same relocation and identification steps, same results); the
+    batch entry point amortizes the shared work: the grid is validated
+    once, the starting poles are built once, and at every relocation
+    iteration all sets whose current pole sets coincide share one basis
+    assembly and column equilibration.  All sets start from the same
+    poles, so iteration 0 always shares this work; sets only fall out of
+    the shared group once their pole trajectories diverge (identical
+    inputs never diverge).
+
+    Sets with *identical* samples and weights additionally collapse to
+    one fit whose result is returned at every matching position -- a
+    scenario sweep requesting the same standard fit N times pays for it
+    once.
+
+    Parameters
+    ----------
+    omega:
+        Shared angular frequency grid (rad/s), strictly increasing.
+    samples:
+        Sequence of complex data stacks, each of shape (K, P_i, P_i).
+    weights:
+        Optional per-set weights aligned with ``samples``; each entry is
+        accepted in the same forms as :func:`vector_fit` (``None``,
+        per-frequency (K,), or per-entry (K, P_i, P_i)).
+    options:
+        Shared algorithm options (one model order for all sets).
+    """
+    options = options or VFOptions()
+    omega = check_frequency_grid(np.asarray(omega, dtype=float))
+    if not samples:
+        return []
+    if weights is None:
+        weights = [None] * len(samples)
+    if len(weights) != len(samples):
+        raise ValueError("weights must align with samples")
+    k = omega.size
+    if omega[omega > 0.0].size < 2:
+        raise ValueError("need at least two positive frequencies")
+    if options.n_poles >= 2 * k:
+        raise ValueError(
+            f"model order {options.n_poles} too high for {k} frequency samples"
+        )
+
+    if options.initial_poles is not None:
+        poles0 = canonicalize_poles(
+            np.asarray(options.initial_poles, dtype=complex)
+        )
+        if poles0.size != options.n_poles:
+            raise ValueError(
+                f"initial_poles has {poles0.size} poles, options request "
+                f"{options.n_poles}"
+            )
+    else:
+        poles0 = initial_poles(omega, options.n_poles)
+
+    states: list[_FitState] = []
+    alias: list[int] = []  # input position -> unique-state index
+    seen: dict[tuple[bytes, bytes], int] = {}
+    for stack, weight in zip(samples, weights):
+        stack = check_square_stack(stack, "samples")
+        if stack.shape[0] != k:
+            raise ValueError("samples and omega must agree on K")
+        p = stack.shape[1]
+        responses = stack.reshape(k, p * p)
+        weight_table = _normalize_weights(weight, stack.shape)
+        key = (responses.tobytes(), weight_table.tobytes())
+        known = seen.get(key)
+        if known is not None:
+            alias.append(known)
+            continue
+        seen[key] = len(states)
+        alias.append(len(states))
+        compress_responses, compress_weights = responses, weight_table
+        if options.kernel == "batched":
+            reduction = _symmetric_reduction(stack, weight_table)
+            if reduction is not None:
+                compress_responses, compress_weights = reduction
+        states.append(
+            _FitState(
+                responses=responses,
+                weight_table=weight_table,
+                samples=stack,
+                poles=poles0.copy(),
+                history=[poles0.copy()],
+                compress_responses=compress_responses,
+                compress_weights=compress_weights,
+            )
+        )
+    if len(states) < len(alias):
+        _LOG.debug(
+            "fit_many: %d set(s), %d unique", len(alias), len(states)
+        )
+
+    for iteration in range(options.n_iterations):
+        active = [state for state in states if state.active]
+        if not active:
+            break
+        # Sets whose pole sets coincide share one basis and one batched
+        # QR over the union of their columns.
+        groups: dict[bytes, list[_FitState]] = {}
+        for state in active:
+            groups.setdefault(state.poles.tobytes(), []).append(state)
+        for members in groups.values():
+            poles = members[0].poles
+            phi = _basis(omega, poles)
+            phi_scale, sigma_scale = _sigma_scales(phi, k, options)
+            phi_scaled = phi / phi_scale
+            compress = (
+                _sigma_compress_batched
+                if options.kernel == "batched"
+                else _sigma_compress_reference
+            )
+            for state in members:
+                rows, rhs_rows = compress(
+                    state.compress_responses, state.compress_weights,
+                    phi_scaled, sigma_scale, options,
+                )
+                new_poles = _solve_sigma_poles(
+                    rows, rhs_rows, phi, phi_scale, sigma_scale,
+                    state.responses, state.weight_table, state.poles,
+                    omega, options,
+                )
+                change = _pole_change(state.poles, new_poles)
+                state.poles = new_poles
+                state.history.append(new_poles.copy())
+                state.iterations = iteration + 1
+                if change < options.pole_convergence_tol:
+                    state.converged = True
+
+    results = []
+    for state in states:
+        _LOG.debug(
+            "vector_fit: %d iterations, converged=%s",
+            state.iterations,
+            state.converged,
+        )
+        results.append(
+            _characterize(
+                omega, state.samples, state.responses, state.weight_table,
+                state.poles, options, state.iterations, state.converged,
+                state.history,
+            )
+        )
+    # Duplicated inputs share one (immutable) result object.
+    return [results[index] for index in alias]
+
+
+def vector_fit(
+    omega: np.ndarray,
+    samples: np.ndarray,
+    weights: np.ndarray | None = None,
+    options: VFOptions | None = None,
+) -> VFResult:
+    """Fit a common-pole matrix pole-residue model to sampled data.
+
+    Parameters
+    ----------
+    omega:
+        Angular frequency grid (rad/s), strictly increasing, may include 0.
+    samples:
+        Complex data stack, shape (K, P, P).
+    weights:
+        Optional least-squares weights: per-frequency shape (K,) -- the
+        paper's sensitivity weights w_k = Xi_k -- or per-entry (K, P, P).
+    options:
+        Algorithm options; defaults to :class:`VFOptions()`.
+    """
+    return fit_many(omega, [samples], [weights], options)[0]

@@ -25,6 +25,11 @@ Numerically delicate points handled here:
   G would change sign) are reflected to the negative axis, which perturbs
   the response only locally -- the paper likewise tolerates local mismatch
   ("we did not care of matching the spike around 0.5-1 GHz").
+
+All least-squares solves go through the shared equilibrated kernels of
+:mod:`repro.vectfit.kernels` (the same ones driving the batched matrix-VF
+hot path), so the eq. 17 weight-model fit inherits their conditioning
+behaviour and stays off bespoke per-call LAPACK dispatch.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ import numpy as np
 from repro.statespace.system import StateSpaceModel
 from repro.util.logging import get_logger
 from repro.util.validation import check_frequency_grid
+from repro.vectfit import kernels
 
 _LOG = get_logger(__name__)
 
@@ -108,7 +114,7 @@ def _relocate_real(
     a = np.vstack([a, scale * relax])
     rhs = np.concatenate([rhs, [scale * x.size]])
 
-    solution, *_ = np.linalg.lstsq(a, rhs, rcond=None)
+    solution = kernels.scaled_lstsq(a, rhs)
     c_sigma = solution[n + 1 : 2 * n + 1]
     d_sigma = float(solution[2 * n + 1])
     if abs(d_sigma) < min_sigma_d:
@@ -145,12 +151,11 @@ def _fit_residues_real(
     phi = _x_basis(x, poles_x)
     a = np.column_stack([phi * w[:, None], w])
     rhs = g * w
-    solution, *_ = np.linalg.lstsq(a, rhs, rcond=None)
+    solution = kernels.scaled_lstsq(a, rhs)
     residues, d = solution[:-1], float(solution[-1])
     if d <= 0.0:
         d = d_floor
-        solution, *_ = np.linalg.lstsq(phi * w[:, None], rhs - d * w, rcond=None)
-        residues = solution
+        residues = kernels.scaled_lstsq(phi * w[:, None], rhs - d * w)
         _LOG.debug("magnitude fit: constant term clamped to %.3e", d)
     return residues, d
 
@@ -189,12 +194,11 @@ def _partial_fractions(
     zeros: np.ndarray, poles: np.ndarray, gain: float
 ) -> tuple[np.ndarray, float]:
     """Residues of gain * prod(s - zeros)/prod(s - poles) at simple real poles."""
-    residues = np.empty(poles.size)
-    for m, pole in enumerate(poles):
-        num = gain * np.prod(pole - zeros)
-        den = np.prod(np.delete(poles, m) * -1.0 + pole)
-        residues[m] = (num / den).real
-    return residues, gain
+    numerators = gain * np.prod(poles[:, None] - zeros[None, :], axis=1)
+    gaps = poles[:, None] - poles[None, :]
+    np.fill_diagonal(gaps, 1.0)
+    denominators = np.prod(gaps, axis=1)
+    return (numerators / denominators).real, gain
 
 
 def fit_magnitude(

@@ -51,6 +51,14 @@ class VFOptions:
         Useful for PDN models whose DC loaded impedance must be exact;
         mutually exclusive with the asymptotic D projection (the implied
         D is whatever DC interpolation requires).
+    kernel:
+        Linear-algebra kernel selection.  ``"batched"`` (default)
+        assembles all response columns as stacked tensors and runs
+        batched LAPACK QR / multi-RHS solves with no Python per-column
+        work; ``"reference"`` runs the original per-column loops.  Both
+        compute the same math on the same operands and agree to roundoff
+        (``reference`` is kept as the equivalence oracle for tests and
+        benchmarks).
     """
 
     n_poles: int = 12
@@ -64,6 +72,7 @@ class VFOptions:
     min_sigma_d: float = 1e-8
     asymptotic_passivity_margin: float = 1e-4
     dc_exact: bool = False
+    kernel: str = "batched"
 
     def __post_init__(self) -> None:
         if self.n_poles < 1:
@@ -78,3 +87,7 @@ class VFOptions:
             raise ValueError("asymptotic_passivity_margin must be in [0, 1)")
         if self.dc_exact and not self.fit_const:
             raise ValueError("dc_exact requires fit_const")
+        if self.kernel not in ("batched", "reference"):
+            raise ValueError(
+                f"kernel must be 'batched' or 'reference', got {self.kernel!r}"
+            )

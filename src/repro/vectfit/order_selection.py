@@ -4,29 +4,45 @@ The paper picks n = 12 by expertise; this module automates the choice:
 fit with increasing order until the (weighted) RMS error drops below a
 target, or until the error stops improving -- the standard incremental
 strategy of production macromodeling tools.
+
+Order sweeps are warm-started by default: each candidate order reuses the
+previous order's converged poles, padded with fresh log-spaced starting
+poles for the added order.  A warm-started candidate begins near a fixed
+point of the relocation map, so it typically converges in a fraction of
+the iterations a cold start needs -- the sweep stops paying the full
+relocation budget at every rung.  Pass ``warm_start=False`` for
+independent cold fits per order (ablation studies, Table E).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.util.logging import get_logger
-from repro.vectfit.core import VFResult, vector_fit
+from repro.vectfit.core import VFResult, canonicalize_poles, vector_fit
 from repro.vectfit.options import VFOptions
+from repro.vectfit.starting_poles import initial_poles
 
 _LOG = get_logger(__name__)
 
 
 @dataclass(frozen=True)
 class OrderCandidate:
-    """One explored model order."""
+    """One explored model order.
+
+    ``warm_started`` records whether the fit reused the previous order's
+    converged poles; ``iterations`` the relocation iterations it spent
+    (warm starts typically need far fewer).
+    """
 
     n_poles: int
     rms_error: float
     weighted_rms_error: float
     converged: bool
+    warm_started: bool = False
+    iterations: int = 0
 
 
 @dataclass(frozen=True)
@@ -34,15 +50,26 @@ class OrderSelectionResult:
     """Outcome of the order sweep.
 
     ``best`` is the selected fit; ``candidates`` records every explored
-    order for reporting (derived Table E).
+    order for reporting (derived Table E); ``skipped_orders`` records
+    candidate orders that were *not* re-evaluated because an identical
+    order appeared earlier in the sweep (duplicate entries in ``orders``).
     """
 
     best: VFResult
     candidates: list[OrderCandidate] = field(repr=False)
+    skipped_orders: list[int] = field(default_factory=list)
 
     @property
     def selected_order(self) -> int:
         return self.best.model.n_poles
+
+
+def _warm_poles(
+    omega: np.ndarray, previous: np.ndarray, order: int
+) -> np.ndarray:
+    """Pad the previous order's poles with fresh log-spaced starters."""
+    extra = initial_poles(omega, order - previous.size)
+    return canonicalize_poles(np.concatenate([previous, extra]))
 
 
 def select_model_order(
@@ -53,6 +80,8 @@ def select_model_order(
     orders: list[int] | None = None,
     target_rms: float = 1e-4,
     stagnation_ratio: float = 0.7,
+    stagnation_runs: int = 2,
+    warm_start: bool = True,
     base_options: VFOptions | None = None,
 ) -> OrderSelectionResult:
     """Sweep model orders until the fit reaches ``target_rms``.
@@ -62,16 +91,28 @@ def select_model_order(
     omega, samples, weights:
         As for :func:`repro.vectfit.core.vector_fit`.
     orders:
-        Candidate orders, ascending; default 4, 6, ..., 24.
+        Candidate orders, ascending; default 4, 6, ..., 24.  Duplicate
+        entries are evaluated once and recorded in
+        :attr:`OrderSelectionResult.skipped_orders`.
     target_rms:
         Stop as soon as the unweighted RMS error falls below this.
     stagnation_ratio:
-        Also stop when an order improves the error by less than this
-        factor versus the previous order (diminishing returns), keeping
-        the *previous* (smaller) model in that case.  0 disables the
-        stagnation stop (the sweep explores every order).
+        A candidate *stagnates* when it improves the error by less than
+        this factor versus the best accepted fit (diminishing returns).
+        Stagnant candidates never replace the smaller accepted model.
+        0 disables the stagnation stop (the sweep explores every order).
+    stagnation_runs:
+        Stop the sweep after this many *consecutive* stagnant candidates
+        (default 2: one flat rung may be a plateau before a resonance is
+        captured, two in a row is a trend).
+    warm_start:
+        Start each candidate from the previous order's converged poles
+        (padded with fresh log-spaced poles) instead of refitting from
+        scratch; the shared frequency-grid work is reused across rungs.
     base_options:
-        Template options; ``n_poles`` is overridden per candidate.
+        Template options; ``n_poles`` and ``initial_poles`` are
+        overridden per candidate, everything else (weighting, relaxation,
+        ``dc_exact``, kernel selection, ...) is inherited.
     """
     if orders is None:
         orders = list(range(4, 25, 2))
@@ -79,44 +120,70 @@ def select_model_order(
         raise ValueError("orders must be a non-empty ascending list")
     if target_rms <= 0.0:
         raise ValueError("target_rms must be positive")
+    if stagnation_runs < 1:
+        raise ValueError("stagnation_runs must be at least 1")
     base = base_options or VFOptions()
 
     candidates: list[OrderCandidate] = []
+    skipped: list[int] = []
+    evaluated: set[int] = set()
     best: VFResult | None = None
-    previous_error = np.inf
+    previous_poles: np.ndarray | None = None
+    stagnant_streak = 0
     for order in orders:
-        options = VFOptions(
+        if order in evaluated:
+            skipped.append(order)
+            _LOG.debug("order %d: duplicate candidate skipped", order)
+            continue
+        evaluated.add(order)
+        warm = (
+            warm_start
+            and previous_poles is not None
+            and previous_poles.size < order
+        )
+        options = replace(
+            base,
             n_poles=order,
-            n_iterations=base.n_iterations,
-            stable=base.stable,
-            relaxed=base.relaxed,
-            fit_const=base.fit_const,
-            pole_convergence_tol=base.pole_convergence_tol,
-            min_sigma_d=base.min_sigma_d,
-            asymptotic_passivity_margin=base.asymptotic_passivity_margin,
+            initial_poles=(
+                _warm_poles(omega, previous_poles, order) if warm else None
+            ),
         )
         result = vector_fit(omega, samples, weights, options)
+        previous_poles = result.model.poles
         candidates.append(
             OrderCandidate(
                 n_poles=order,
                 rms_error=result.rms_error,
                 weighted_rms_error=result.weighted_rms_error,
                 converged=result.converged,
+                warm_started=warm,
+                iterations=result.iterations,
             )
         )
-        _LOG.info("order %d: rms %.3e", order, result.rms_error)
+        _LOG.info(
+            "order %d: rms %.3e (%s, %d iterations)",
+            order,
+            result.rms_error,
+            "warm" if warm else "cold",
+            result.iterations,
+        )
         if result.rms_error <= target_rms:
             best = result
             break
         if (
             best is not None
             and stagnation_ratio > 0.0
-            and result.rms_error > stagnation_ratio * previous_error
+            and result.rms_error > stagnation_ratio * best.rms_error
         ):
-            # Diminishing returns: keep the smaller model.
-            break
+            # Diminishing returns: keep the smaller accepted model.
+            stagnant_streak += 1
+            if stagnant_streak >= stagnation_runs:
+                break
+            continue
         best = result
-        previous_error = result.rms_error
+        stagnant_streak = 0
 
     assert best is not None  # orders is non-empty
-    return OrderSelectionResult(best=best, candidates=candidates)
+    return OrderSelectionResult(
+        best=best, candidates=candidates, skipped_orders=skipped
+    )

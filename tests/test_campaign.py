@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.campaign.cache import FlowCache, flow_fingerprint
-from repro.campaign.executor import run_campaign
+from repro.campaign.executor import (
+    _shared_standard_fits,
+    _standard_fit_key,
+    default_blas_threads,
+    execute_scenario,
+    limit_blas_threads,
+    run_campaign,
+)
 from repro.campaign.registry import CampaignRegistry, worst_by_group
 from repro.campaign.report import campaign_report
 from repro.campaign.scenario import (
@@ -260,6 +267,98 @@ class TestExecutor:
             [scenario, scenario], cache=campaign_env["cache"], jobs=1
         )
         assert result.n_runs == 1
+
+
+class TestBatchOptimizations:
+    def test_environment_recorded(self, campaign_env):
+        # Serial runs are never thread-capped; the record says so.
+        record = campaign_env["result"].records[0]
+        env = record["environment"]
+        assert env["blas_thread_limit"] is None
+        assert env["blas_limit_method"] is None
+        assert env["shared_standard_fit"] is True  # two scenarios, one data
+
+    def test_standard_fit_key_groups_by_data_and_order(self):
+        a = fast_scenario("a", decap_c_scale=0.5)
+        b = fast_scenario("b", total_die_current=2.0)
+        c = fast_scenario("c", n_poles=6)
+        d = fast_scenario("d", n_frequencies=41)
+        assert _standard_fit_key(a) == _standard_fit_key(b)
+        assert _standard_fit_key(a) != _standard_fit_key(c)
+        assert _standard_fit_key(a) != _standard_fit_key(d)
+
+    def test_shared_fits_only_for_groups(self):
+        lone = fast_scenario("solo")
+        pair = [fast_scenario("p1", decap_c_scale=0.5),
+                fast_scenario("p2", decap_c_scale=2.0)]
+        assert _shared_standard_fits([lone]) == {}
+        prefits = _shared_standard_fits(pair + [lone, fast_scenario("q", n_poles=6)])
+        assert set(prefits) == {_standard_fit_key(pair[0])}
+        fit = prefits[_standard_fit_key(pair[0])]
+        assert fit.model.n_poles == pair[0].n_poles
+
+    def test_warm_cache_skips_prefits(self, tmp_path):
+        # Once every scenario of a group is cache-served, the dispatcher
+        # must not pay for the shared standard fit again.
+        scenarios = [fast_scenario("c1", decap_c_scale=0.5),
+                     fast_scenario("c2", decap_c_scale=2.0)]
+        cache = FlowCache(tmp_path / "cache")
+        run_campaign(list(scenarios), cache=cache, jobs=1)
+        assert _shared_standard_fits(list(scenarios), cache) == {}
+        # A cold member keeps the group's prefit alive.
+        with_cold = list(scenarios) + [fast_scenario("c3", decap_c_scale=3.0)]
+        assert len(_shared_standard_fits(with_cold, cache)) == 1
+
+    def test_shared_fit_matches_worker_fit(self, tmp_path):
+        # A campaign with and without shared standard fits must produce
+        # identical metrics: fit_many is deterministic.
+        scenarios = [fast_scenario("s1", decap_c_scale=0.5),
+                     fast_scenario("s2", decap_c_scale=2.0)]
+        shared = run_campaign(list(scenarios), jobs=1, share_fits=True)
+        solo = run_campaign(list(scenarios), jobs=1, share_fits=False)
+        assert shared.n_ok == solo.n_ok == 2
+        for a, b in zip(shared.records, solo.records):
+            assert a["environment"]["shared_standard_fit"]
+            assert not b["environment"]["shared_standard_fit"]
+            assert a["metrics"] == pytest.approx(b["metrics"], rel=1e-12)
+
+    def test_order_mismatch_drops_injected_fit(self, campaign_env):
+        scenario = fast_scenario("mini", weight_mode="relative")
+        wrong = _shared_standard_fits(
+            [fast_scenario("w1", n_poles=6), fast_scenario("w2", n_poles=6,
+                                                           decap_c_scale=0.5)]
+        )
+        (bad_fit,) = wrong.values()
+        record, model = execute_scenario(
+            scenario, str(campaign_env["cache"].root), standard_fit=bad_fit
+        )
+        assert record["status"] == "ok"
+        assert record["environment"]["shared_standard_fit"] is False
+
+    def test_limit_blas_threads(self):
+        import os
+
+        try:
+            method = limit_blas_threads(1)
+            assert method in ("threadpoolctl", "ctypes-openblas", "env-only")
+            assert os.environ["OPENBLAS_NUM_THREADS"] == "1"
+            with pytest.raises(ValueError, match="at least 1"):
+                limit_blas_threads(0)
+        finally:
+            # Uncap again: the rest of the suite runs in this process.
+            limit_blas_threads(os.cpu_count() or 1)
+            for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                        "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS",
+                        "VECLIB_MAXIMUM_THREADS"):
+                os.environ.pop(var, None)
+
+    def test_default_blas_threads(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert default_blas_threads(1) == cores
+        assert default_blas_threads(2 * cores) == 1
+        assert default_blas_threads(2) == max(1, cores // 2)
 
 
 class TestCacheAndFingerprint:
