@@ -17,6 +17,8 @@ Public API tour
 * :mod:`repro.flow` -- the end-to-end pipeline (``MacromodelingFlow``).
 * :mod:`repro.campaign` -- parallel scenario-sweep orchestration with
   content-addressed caching and an on-disk result registry.
+* :mod:`repro.ingest` -- external Touchstone data conditioning and
+  generic termination construction for arbitrary multiport networks.
 * :mod:`repro.timedomain` -- transient droop simulation of the loaded
   macromodel.
 """
@@ -32,6 +34,13 @@ from repro.flow.macromodel import (
     FlowResult,
     MacromodelingFlow,
     run_flow,
+)
+from repro.ingest import (
+    ConditioningOptions,
+    IngestReport,
+    build_termination,
+    condition_network,
+    load_network,
 )
 from repro.passivity.check import check_passivity
 from repro.passivity.enforce import EnforcementOptions, enforce_passivity
@@ -65,6 +74,11 @@ __all__ = [
     "FlowResult",
     "MacromodelingFlow",
     "run_flow",
+    "ConditioningOptions",
+    "IngestReport",
+    "build_termination",
+    "condition_network",
+    "load_network",
     "check_passivity",
     "CheckerOptions",
     "PassivityChecker",

@@ -214,6 +214,8 @@ def execute_scenario(
         observe_port = scenario.resolve_observe_port(testcase)
         options = scenario.flow_options()
         build_s = time.perf_counter() - build_start
+        if testcase.ingest is not None:
+            record["ingest"] = testcase.ingest.to_dict()
         if (
             standard_fit is not None
             and standard_fit.model.n_poles != options.vf.n_poles
@@ -350,12 +352,28 @@ def _worker_init(log_level: int | None, blas_limit: int | None) -> None:
 def _standard_fit_key(scenario: ScenarioSpec) -> tuple:
     """Fingerprint of a scenario's standard vector fit.
 
-    The scattering data depends only on the PDN size and the frequency
-    grid (termination knobs perturb the loading, not the planes; see
-    :func:`repro.pdn.testcase.make_variant_testcase`), and the standard
-    fit additionally only on the VF configuration.
+    For synthetic scenarios the scattering data depends only on the PDN
+    size and the frequency grid (termination knobs perturb the loading,
+    not the planes; see :func:`repro.pdn.testcase.make_variant_testcase`);
+    for external scenarios it depends on the data file and the
+    conditioning knobs.  The standard fit additionally depends only on
+    the VF configuration.
     """
+    if scenario.data_file is not None:
+        return (
+            "data",
+            scenario.data_file,
+            scenario.data_z0,
+            scenario.data_dc_policy,
+            scenario.data_f_min,
+            scenario.data_f_max,
+            scenario.data_max_points,
+            scenario.data_symmetrize,
+            scenario.n_poles,
+            scenario.vf_kernel,
+        )
     return (
+        "pdn",
         scenario.size,
         scenario.n_frequencies,
         scenario.include_dc,
@@ -364,29 +382,77 @@ def _standard_fit_key(scenario: ScenarioSpec) -> tuple:
     )
 
 
+def _nominal_testcase(scenario: ScenarioSpec):
+    """The prefit group's shared base: the scenario with nominal loading.
+
+    Termination knobs never touch the scattering data, so any member
+    stripped of its perturbations materializes the group's common data
+    (and, for synthetic cases, the nominal termination the per-member
+    perturbations start from).
+    """
+    from dataclasses import replace
+
+    return replace(
+        scenario,
+        decap_c_scale=1.0,
+        decap_esr_scale=1.0,
+        vrm_resistance=None,
+        total_die_current=None,
+    ).build_testcase()
+
+
+def _member_termination(scenario: ScenarioSpec, base) -> object:
+    """A member's termination, built from the group's base testcase."""
+    from repro.pdn.testcase import perturb_termination
+
+    if scenario.data_file is not None:
+        nominal = scenario.external_termination(
+            base.data.n_ports, default_z0=base.data.z0
+        )
+    else:
+        nominal = base.termination
+    return perturb_termination(
+        nominal,
+        decap_c_scale=scenario.decap_c_scale,
+        decap_esr_scale=scenario.decap_esr_scale,
+        vrm_resistance=scenario.vrm_resistance,
+        total_die_current=scenario.total_die_current,
+    )
+
+
+def _member_observe_port(scenario: ScenarioSpec, base) -> int:
+    """The observation port execute_scenario will resolve for ``scenario``.
+
+    External test cases default an unset observe_port through
+    :attr:`ScenarioSpec.external_observe_port`; resolving against the
+    group's base -- which was built from a *different* member -- would
+    probe the wrong port.
+    """
+    if scenario.data_file is not None:
+        return scenario.external_observe_port
+    return scenario.resolve_observe_port(base)
+
+
 def _group_fully_cached(base, members: list[ScenarioSpec], cache) -> bool:
     """True when every scenario of a prefit group will be a cache hit.
 
     Fingerprinting reuses the group's already-built base testcase: the
-    termination perturbation is cheap (no MNA solve), so probing the
-    content-addressed cache costs hashing only.
+    termination construction is cheap (no MNA solve, no file re-read), so
+    probing the content-addressed cache costs hashing only.  A member
+    whose fingerprint cannot even be computed (e.g. an invalid
+    termination spec) counts as a miss: the group is prefit and the bad
+    scenario fails inside execute_scenario's isolation, not here.
     """
-    from repro.pdn.testcase import perturb_termination
-
     for scenario in members:
-        termination = perturb_termination(
-            base.termination,
-            decap_c_scale=scenario.decap_c_scale,
-            decap_esr_scale=scenario.decap_esr_scale,
-            vrm_resistance=scenario.vrm_resistance,
-            total_die_current=scenario.total_die_current,
-        )
-        fingerprint = flow_fingerprint(
-            base.data,
-            termination,
-            scenario.resolve_observe_port(base),
-            scenario.flow_options(),
-        )
+        try:
+            fingerprint = flow_fingerprint(
+                base.data,
+                _member_termination(scenario, base),
+                _member_observe_port(scenario, base),
+                scenario.flow_options(),
+            )
+        except Exception:  # noqa: BLE001 -- probe must never abort the run
+            return False
         if fingerprint not in cache:
             return False
     return True
@@ -403,12 +469,13 @@ def _shared_standard_fits(
     already served by the content-addressed flow cache is skipped -- a
     warm-cache campaign pays for fingerprint hashing, not for fits.
     Groups sharing a frequency grid and VF configuration -- e.g. several
-    PDN sizes swept together -- are fitted in a single :func:`fit_many`
-    call, which amortizes grid validation, starting poles and
-    iteration-0 basis assembly across them.
+    PDN sizes swept together, or external data files exported on one
+    grid -- are fitted in a single :func:`fit_many` call, which
+    amortizes grid validation, starting poles and iteration-0 basis
+    assembly across them.  A group whose base cannot be built (e.g. a
+    missing data file) is skipped here so the failure stays isolated to
+    its own scenarios.
     """
-    from repro.pdn.testcase import make_paper_testcase
-
     members_of: dict[tuple, list[ScenarioSpec]] = {}
     for scenario in scenarios:
         members_of.setdefault(_standard_fit_key(scenario), []).append(scenario)
@@ -416,48 +483,49 @@ def _shared_standard_fits(
     if not shared:
         return {}
 
-    batches: dict[tuple, list[tuple]] = {}
+    bases: dict[tuple, object] = {}
     for key in shared:
-        size, n_frequencies, include_dc, n_poles, vf_kernel = key
-        batches.setdefault(
-            (n_frequencies, include_dc, n_poles, vf_kernel), []
-        ).append(key)
+        members = members_of[key]
+        try:
+            base = _nominal_testcase(members[0])
+        except Exception as exc:  # noqa: BLE001 -- isolate to the group
+            _LOG.warning(
+                "shared standard fits: cannot build group %s (%s); its "
+                "scenarios will fit (and fail) individually",
+                key,
+                exc,
+            )
+            continue
+        if cache is not None and _group_fully_cached(base, members, cache):
+            _LOG.info(
+                "shared standard fits: group %s fully cached, skipped", key
+            )
+            continue
+        bases[key] = base
+
+    # Batch groups that share a frequency grid and VF configuration into
+    # one fit_many call; the grid itself is the batch discriminator, so
+    # synthetic sizes and external files mix freely when grids coincide.
+    batches: dict[tuple, list[tuple]] = {}
+    for key, base in bases.items():
+        n_poles, vf_kernel = key[-2], key[-1]
+        grid_token = base.data.omega.tobytes()
+        batches.setdefault((n_poles, vf_kernel, grid_token), []).append(key)
 
     prefits: dict[tuple, VFResult] = {}
-    for (n_frequencies, include_dc, n_poles, vf_kernel), keys in (
-        batches.items()
-    ):
-        fit_keys = []
-        datasets = []
-        for key in keys:
-            base = make_paper_testcase(
-                size=key[0],
-                n_frequencies=n_frequencies,
-                include_dc=include_dc,
-            )
-            if cache is not None and _group_fully_cached(
-                base, members_of[key], cache
-            ):
-                _LOG.info(
-                    "shared standard fits: group %s fully cached, skipped",
-                    key,
-                )
-                continue
-            fit_keys.append(key)
-            datasets.append(base.data)
-        if not fit_keys:
-            continue
+    for (n_poles, vf_kernel, _), keys in batches.items():
+        datasets = [bases[key].data for key in keys]
         results = fit_many(
             datasets[0].omega,
             [data.samples for data in datasets],
             options=VFOptions(n_poles=n_poles, kernel=vf_kernel),
         )
-        for key, result in zip(fit_keys, results):
+        for key, result in zip(keys, results):
             prefits[key] = result
         _LOG.info(
             "shared standard fits: %d group(s) at order %d "
             "(%d points, kernel=%s)",
-            len(fit_keys), n_poles, n_frequencies, vf_kernel,
+            len(keys), n_poles, datasets[0].n_frequencies, vf_kernel,
         )
     return prefits
 

@@ -39,7 +39,22 @@ class ScenarioSpec:
         Human-readable label; campaign expansion appends the axis values.
     size / n_frequencies / include_dc:
         PDN test-case family and frequency grid
-        (:func:`repro.pdn.testcase.make_variant_testcase`).
+        (:func:`repro.pdn.testcase.make_variant_testcase`).  Ignored when
+        ``data_file`` selects an external data source.
+    data_file:
+        Path to an external Touchstone ``.sNp`` file; when set, the
+        scenario runs on that (conditioned) data instead of a synthetic
+        PDN, so sweeps can fan out over measured/solver exports with the
+        same cache and registry machinery.
+    termination_spec:
+        Termination description of the external network: a compact inline
+        spec or a JSON file path (see
+        :func:`repro.ingest.termination.build_termination`); ``None``
+        terminates every port with a matched ``z0`` resistor.
+    data_z0 / data_dc_policy / data_f_min / data_f_max /
+    data_max_points / data_symmetrize:
+        Conditioning knobs for the external data
+        (:class:`repro.ingest.conditioning.ConditioningOptions`).
     decap_c_scale / decap_esr_scale / vrm_resistance / total_die_current:
         Termination perturbation knobs.
     observe_port:
@@ -62,6 +77,14 @@ class ScenarioSpec:
     size: str = "small"
     n_frequencies: int = 201
     include_dc: bool = True
+    data_file: str | None = None
+    termination_spec: str | None = None
+    data_z0: float | None = None
+    data_dc_policy: str = "keep"
+    data_f_min: float | None = None
+    data_f_max: float | None = None
+    data_max_points: int | None = None
+    data_symmetrize: str = "auto"
     decap_c_scale: float = 1.0
     decap_esr_scale: float = 1.0
     vrm_resistance: float | None = None
@@ -76,6 +99,27 @@ class ScenarioSpec:
     checker_strategy: str = "fast"
     checker_exact_every: int = 5
     vf_kernel: str = "batched"
+
+    def _stray_external_fields(self) -> list[str]:
+        """External-only knobs set although no ``data_file`` is.
+
+        Checked when the synthetic path is *built* (not at construction):
+        a campaign base legitimately carries ``termination_spec`` or
+        conditioning knobs while ``data_file`` arrives via a sweep axis.
+        """
+        return [
+            field_name
+            for field_name, value, default in (
+                ("termination_spec", self.termination_spec, None),
+                ("data_z0", self.data_z0, None),
+                ("data_dc_policy", self.data_dc_policy, "keep"),
+                ("data_f_min", self.data_f_min, None),
+                ("data_f_max", self.data_f_max, None),
+                ("data_max_points", self.data_max_points, None),
+                ("data_symmetrize", self.data_symmetrize, "auto"),
+            )
+            if value != default
+        ]
 
     # ------------------------------------------------------------------
     # Derived objects
@@ -95,8 +139,55 @@ class ScenarioSpec:
             ),
         )
 
+    def conditioning_options(self):
+        """Conditioning configuration for an external ``data_file`` source."""
+        from repro.ingest.conditioning import ConditioningOptions
+
+        return ConditioningOptions(
+            z0=self.data_z0,
+            dc_policy=self.data_dc_policy,
+            f_min=self.data_f_min,
+            f_max=self.data_f_max,
+            max_points=self.data_max_points,
+            symmetrize=self.data_symmetrize,
+        )
+
+    @property
+    def external_observe_port(self) -> int:
+        """Effective observation port of an external data source.
+
+        External test cases have no "first die port" to fall back on, so
+        an unset ``observe_port`` defaults to 0.  The executor's cache
+        probes rely on this single definition matching what
+        :meth:`build_testcase` resolves.
+        """
+        return self.observe_port if self.observe_port is not None else 0
+
+    def external_termination(self, n_ports: int, default_z0: float = 50.0):
+        """Unperturbed termination of an external network (spec or default).
+
+        ``default_z0`` is the conditioned data's reference resistance, so
+        the spec-less default really is a *matched* resistive load.
+        """
+        from repro.ingest.termination import build_termination
+
+        return build_termination(
+            self.termination_spec,
+            n_ports,
+            observe_port=self.external_observe_port,
+            default_z0=default_z0,
+        )
+
     def build_testcase(self) -> PDNTestCase:
-        """Materialize the PDN variant (deterministic for a given spec)."""
+        """Materialize the data source (deterministic for a given spec)."""
+        if self.data_file is not None:
+            return self._build_external_testcase()
+        stray = self._stray_external_fields()
+        if stray:
+            raise ValueError(
+                f"{sorted(stray)} require data_file to be set "
+                "(they describe an external data source)"
+            )
         return make_variant_testcase(
             self.size,
             n_frequencies=self.n_frequencies,
@@ -105,6 +196,28 @@ class ScenarioSpec:
             decap_esr_scale=self.decap_esr_scale,
             vrm_resistance=self.vrm_resistance,
             total_die_current=self.total_die_current,
+        )
+
+    def _build_external_testcase(self) -> PDNTestCase:
+        from repro.ingest.conditioning import load_network
+        from repro.pdn.testcase import perturb_termination
+
+        data, report = load_network(self.data_file, self.conditioning_options())
+        termination = perturb_termination(
+            self.external_termination(data.n_ports, default_z0=data.z0),
+            decap_c_scale=self.decap_c_scale,
+            decap_esr_scale=self.decap_esr_scale,
+            vrm_resistance=self.vrm_resistance,
+            total_die_current=self.total_die_current,
+        )
+        return PDNTestCase(
+            name=Path(self.data_file).name,
+            geometry=None,
+            circuit=None,
+            data=data,
+            termination=termination,
+            observe_port=self.external_observe_port,
+            ingest=report,
         )
 
     def resolve_observe_port(self, testcase: PDNTestCase) -> int:

@@ -191,6 +191,93 @@ class DecouplingCapacitor(PortTermination):
 
 
 @dataclass(frozen=True)
+class SeriesRLC(PortTermination):
+    """Generic one-port: series R + L + C to ground, any element optional.
+
+    The workhorse of external-data terminations: with ``capacitance=None``
+    (no series capacitor) it degenerates to R, L or R+L; with a
+    capacitance it covers R+C (die-style), C+ESR+ESL (decap-style) and
+    everything in between.  ``resistance`` must be positive when there is
+    no series capacitor, otherwise the port would be a DC short and the
+    loaded admittance of eq. (1) singular.
+    """
+
+    resistance: float = 0.0
+    inductance: float = 0.0
+    capacitance: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0.0:
+            raise ValueError("resistance must be non-negative")
+        if self.inductance < 0.0:
+            raise ValueError("inductance must be non-negative")
+        if self.capacitance is not None and self.capacitance <= 0.0:
+            raise ValueError("capacitance must be positive when given")
+        if self.capacitance is None and self.resistance == 0.0:
+            raise ValueError(
+                "series RLC without a capacitor needs a positive resistance "
+                "(an R = 0 branch is a DC short; use a small resistance)"
+            )
+
+    def admittance(self, omega: np.ndarray) -> np.ndarray:
+        omega = np.asarray(omega, dtype=float)
+        out = np.zeros(omega.shape, dtype=complex)
+        if self.capacitance is None:
+            z = self.resistance + 1j * omega * self.inductance
+            return 1.0 / z
+        nonzero = omega != 0.0
+        w = omega[nonzero]
+        z = (
+            self.resistance
+            + 1j * w * self.inductance
+            + 1.0 / (1j * w * self.capacitance)
+        )
+        out[nonzero] = 1.0 / z
+        return out
+
+    def state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        r, ell, cap = self.resistance, self.inductance, self.capacitance
+        if cap is None:
+            if ell == 0.0:
+                a, b, c = _empty_states()
+                return a, b, c, 1.0 / r
+            # State: iL. L diL/dt = v - R iL, i = iL.
+            return (
+                np.array([[-r / ell]]),
+                np.array([[1.0 / ell]]),
+                np.array([[1.0]]),
+                0.0,
+            )
+        if ell > 0.0:
+            # States: [iL, vC]. L diL/dt = v - R iL - vC ; C dvC/dt = iL.
+            a = np.array([[-r / ell, -1.0 / ell], [1.0 / cap, 0.0]])
+            b = np.array([[1.0 / ell], [0.0]])
+            c = np.array([[1.0, 0.0]])
+            return a, b, c, 0.0
+        if r == 0.0:
+            raise ValueError(
+                "a pure series capacitor (i = C dv/dt) has no proper "
+                "state-space realization; add a small series resistance"
+            )
+        # State: vC. C dvC/dt = (v - vC)/R, i = (v - vC)/R.
+        tau = r * cap
+        a = np.array([[-1.0 / tau]])
+        b = np.array([[1.0 / tau]])
+        c = np.array([[-1.0 / r]])
+        return a, b, c, 1.0 / r
+
+    def describe(self) -> str:
+        parts = []
+        if self.resistance:
+            parts.append(f"R={self.resistance:g}")
+        if self.inductance:
+            parts.append(f"L={self.inductance:g}")
+        if self.capacitance is not None:
+            parts.append(f"C={self.capacitance:g}")
+        return f"series {' '.join(parts) or 'R=0'}"
+
+
+@dataclass(frozen=True)
 class DieBlock(PortTermination):
     """Active die block equivalent: series R + C to ground (paper Sec. IV)."""
 

@@ -7,13 +7,18 @@ Four subcommands cover the practical workflow:
     spec, ready for the other commands.
 
 ``fit``
-    Plain weighted/unweighted vector fit of a Touchstone file; writes the
-    macromodel JSON and a fit report.
+    Vector fit of any Touchstone file (external solver/VNA exports
+    included): data is conditioned through :mod:`repro.ingest` first
+    (grid repair, band selection, renormalization, ...), then plain-fit;
+    with ``--termination`` the full sensitivity-weighted flow runs
+    instead, so ``repro fit board.s4p --termination "*=r(50)"`` takes an
+    arbitrary multiport straight to a passive weighted macromodel.
 
 ``flow``
-    The full paper pipeline on a Touchstone file + termination spec:
-    sensitivity, weighted fit, both passivity enforcements, accuracy
-    report, passive model JSON, and CSV series for plotting.
+    The full paper pipeline on a Touchstone file + termination spec
+    (JSON file or compact inline spec): sensitivity, weighted fit, both
+    passivity enforcements, accuracy report, passive model JSON, and CSV
+    series for plotting.
 
 ``campaign``
     Batch engine: expand a campaign spec (JSON) into a scenario grid, run
@@ -46,12 +51,13 @@ import numpy as np
 
 from repro.flow.macromodel import FlowOptions, MacromodelingFlow
 from repro.flow.metrics import flow_accuracy_rows, impedance_error_report
+from repro.ingest import ConditioningOptions, build_termination, load_network
 from repro.passivity.check import check_passivity
 from repro.passivity.enforce import EnforcementOptions, EnforcementResult
-from repro.pdn.spec import load_termination, save_termination
+from repro.pdn.spec import save_termination
 from repro.pdn.testcase import make_paper_testcase
 from repro.sensitivity.zpdn import target_impedance_of_model
-from repro.sparams.touchstone import read_touchstone, write_touchstone
+from repro.sparams.touchstone import write_touchstone
 from repro.statespace.serialization import save_model
 from repro.util.logging import enable_console_logging
 from repro.vectfit.core import vector_fit
@@ -72,10 +78,106 @@ def _cmd_testcase(args: argparse.Namespace) -> int:
     return 0
 
 
+def _conditioning_options(args: argparse.Namespace) -> ConditioningOptions:
+    """Map the shared ingest flags to a conditioning configuration."""
+    return ConditioningOptions(
+        z0=args.z0,
+        dc_policy="drop" if args.drop_dc else "keep",
+        f_min=args.f_min,
+        f_max=args.f_max,
+        max_points=args.max_points,
+        symmetrize=args.symmetrize,
+    )
+
+
+def _flow_options(args: argparse.Namespace) -> FlowOptions:
+    """Flow configuration from CLI flags.
+
+    Both the ``fit`` and ``flow`` subcommands register the full flag set
+    through :func:`_add_flow_flags`, so argparse owns every default
+    exactly once.
+    """
+    return FlowOptions(
+        vf=VFOptions(
+            n_poles=args.poles,
+            dc_exact=args.dc_exact,
+            kernel=args.kernel,
+        ),
+        weight_mode=args.weight_mode,
+        refinement_rounds=args.refinement_rounds,
+        weight_model_order=args.weight_order,
+        enforcement=EnforcementOptions(
+            checker_strategy=_checker_strategy(args),
+            exact_every=args.exact_every,
+        ),
+    )
+
+
+def _run_flow_outputs(args: argparse.Namespace, data, termination, out: Path) -> int:
+    """Run the full pipeline and write the flow artifact set to ``out``."""
+    flow = MacromodelingFlow(_flow_options(args))
+    result = flow.run(data, termination, args.observe_port)
+
+    if args.profile:
+        print(_enforcement_profile("standard cost", result.standard_enforced))
+        print(_enforcement_profile("weighted cost", result.weighted_enforced))
+
+    save_model(result.weighted_enforced.model, out / "passive_model.json")
+    omega = data.omega
+    rows = flow_accuracy_rows(
+        result, data, termination, args.observe_port,
+        low_band_hz=args.low_band_hz,
+    )
+    report = impedance_error_report(rows)
+    (out / "flow_report.txt").write_text(report + "\n", encoding="utf-8")
+    print(report)
+
+    z_final = target_impedance_of_model(
+        result.weighted_enforced.model, omega, termination, args.observe_port,
+        z0=data.z0,
+    )
+    table = np.column_stack(
+        [
+            data.frequencies,
+            np.abs(result.reference_impedance),
+            np.abs(z_final),
+            result.xi,
+            result.final_weights,
+        ]
+    )
+    np.savetxt(
+        out / "flow_series.csv",
+        table,
+        delimiter=",",
+        header="frequency_hz,z_nominal_ohm,z_passive_ohm,xi,weight",
+        comments="",
+    )
+    print(f"passive model : {out / 'passive_model.json'}")
+    print(f"series        : {out / 'flow_series.csv'}")
+    return 0
+
+
 def _cmd_fit(args: argparse.Namespace) -> int:
     out = Path(args.output_dir)
     out.mkdir(parents=True, exist_ok=True)
-    data = read_touchstone(args.data)
+    try:
+        data, ingest_report = load_network(args.data, _conditioning_options(args))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(ingest_report.summary())
+    ingest_report.save(out / "ingest_report.json")
+
+    if args.termination is not None:
+        try:
+            termination = build_termination(
+                args.termination, data.n_ports, observe_port=args.observe_port
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _run_flow_outputs(args, data, termination, out)
+
     options = VFOptions(
         n_poles=args.poles, dc_exact=args.dc_exact, kernel=args.kernel
     )
@@ -98,67 +200,10 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:
-    out = Path(args.output_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    data = read_touchstone(args.data)
-    termination = load_termination(args.termination)
-    if termination.n_ports != data.n_ports:
-        print(
-            f"error: termination spec has {termination.n_ports} ports, "
-            f"data has {data.n_ports}",
-            file=sys.stderr,
-        )
-        return 2
-
-    options = FlowOptions(
-        vf=VFOptions(n_poles=args.poles, kernel=args.kernel),
-        weight_mode=args.weight_mode,
-        refinement_rounds=args.refinement_rounds,
-        weight_model_order=args.weight_order,
-        enforcement=EnforcementOptions(
-            checker_strategy=_checker_strategy(args),
-            exact_every=args.exact_every,
-        ),
-    )
-    flow = MacromodelingFlow(options)
-    result = flow.run(data, termination, args.observe_port)
-
-    if args.profile:
-        print(_enforcement_profile("standard cost", result.standard_enforced))
-        print(_enforcement_profile("weighted cost", result.weighted_enforced))
-
-    save_model(result.weighted_enforced.model, out / "passive_model.json")
-    omega = data.omega
-    rows = flow_accuracy_rows(
-        result, data, termination, args.observe_port,
-        low_band_hz=args.low_band_hz,
-    )
-    report = impedance_error_report(rows)
-    (out / "flow_report.txt").write_text(report + "\n", encoding="utf-8")
-    print(report)
-
-    z_final = target_impedance_of_model(
-        result.weighted_enforced.model, omega, termination, args.observe_port
-    )
-    table = np.column_stack(
-        [
-            data.frequencies,
-            np.abs(result.reference_impedance),
-            np.abs(z_final),
-            result.xi,
-            result.final_weights,
-        ]
-    )
-    np.savetxt(
-        out / "flow_series.csv",
-        table,
-        delimiter=",",
-        header="frequency_hz,z_nominal_ohm,z_passive_ohm,xi,weight",
-        comments="",
-    )
-    print(f"passive model : {out / 'passive_model.json'}")
-    print(f"series        : {out / 'flow_series.csv'}")
-    return 0
+    """``flow`` is ``fit`` with --termination mandatory (argparse enforces
+    the flag, so the shared implementation always takes the full-flow
+    branch)."""
+    return _cmd_fit(args)
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -306,37 +351,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--output-dir", default="testcase")
     p_case.set_defaults(func=_cmd_testcase)
 
-    p_fit = sub.add_parser("fit", help="vector-fit a Touchstone file")
+    p_fit = sub.add_parser(
+        "fit",
+        help="fit a Touchstone file (any multiport; full flow with "
+        "--termination)",
+        description="Condition a Touchstone file through repro.ingest and "
+        "vector-fit it.  Without --termination this is a plain fit; with "
+        "--termination (JSON file or compact inline spec, e.g. "
+        "'0=rlc(r=0.2,c=2e-9);1=short(1e-4)' or '*=r(50)') the full "
+        "sensitivity-weighted passivity-enforcement flow runs on the "
+        "external data.",
+    )
     p_fit.add_argument("data", help="input .sNp file")
     p_fit.add_argument("--poles", type=int, default=12)
-    p_fit.add_argument("--dc-exact", action="store_true")
     p_fit.add_argument("--output-dir", default="fit")
+    p_fit.add_argument(
+        "--termination", default=None,
+        help="termination spec (JSON file or inline, see above); enables "
+        "the full sensitivity-weighted flow",
+    )
+    p_fit.add_argument(
+        "--observe-port", type=int, default=0,
+        help="observation port (0-based) of the full-flow path; also "
+        "receives the nominal 1 A excitation when the spec sets none",
+    )
     _add_kernel_flag(p_fit)
+    _add_ingest_flags(p_fit)
+    _add_flow_flags(p_fit)
     p_fit.set_defaults(func=_cmd_fit)
 
     p_flow = sub.add_parser("flow", help="run the full paper pipeline")
     p_flow.add_argument("data", help="input .sNp file")
-    p_flow.add_argument("--termination", required=True, help="termination JSON spec")
+    p_flow.add_argument(
+        "--termination", required=True,
+        help="termination spec: JSON file or compact inline spec "
+        "(e.g. '*=r(50)' or '0=rlc(r=0.2,c=2e-9);1=short(1e-4)')",
+    )
     p_flow.add_argument("--observe-port", type=int, default=0)
     p_flow.add_argument("--poles", type=int, default=12)
-    p_flow.add_argument("--weight-mode", choices=["relative", "absolute"],
-                        default="relative")
-    p_flow.add_argument("--refinement-rounds", type=int, default=3)
-    p_flow.add_argument("--weight-order", type=int, default=8)
-    p_flow.add_argument("--low-band-hz", type=float, default=1e6)
     p_flow.add_argument("--output-dir", default="flow")
     _add_kernel_flag(p_flow)
-    _add_checker_flags(p_flow)
-    p_flow.add_argument(
-        "--exact-every", type=int, default=5,
-        help="cadence of interleaved exact Hamiltonian checks in fast "
-        "mode (0 disables interleaving)",
-    )
-    p_flow.add_argument(
-        "--profile", action="store_true",
-        help="print a per-iteration timing breakdown of both "
-        "passivity-enforcement runs (check vs. QP vs. model rebuild)",
-    )
+    _add_ingest_flags(p_flow)
+    _add_flow_flags(p_flow)
     p_flow.set_defaults(func=_cmd_flow)
 
     p_camp = sub.add_parser(
@@ -393,6 +449,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_camp.set_defaults(func=_cmd_campaign)
     return parser
+
+
+def _add_flow_flags(parser: argparse.ArgumentParser) -> None:
+    """Pipeline-configuration flags shared by the fit and flow subcommands.
+
+    Registered once here so the two commands can never drift apart on a
+    default (``_flow_options`` reads the parsed values directly).
+    """
+    parser.add_argument("--dc-exact", action="store_true")
+    parser.add_argument("--weight-mode", choices=["relative", "absolute"],
+                        default="relative")
+    parser.add_argument("--refinement-rounds", type=int, default=3)
+    parser.add_argument("--weight-order", type=int, default=8)
+    parser.add_argument("--low-band-hz", type=float, default=1e6)
+    _add_checker_flags(parser)
+    parser.add_argument(
+        "--exact-every", type=int, default=5,
+        help="cadence of interleaved exact Hamiltonian checks in fast "
+        "mode (0 disables interleaving)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-iteration timing breakdown of both "
+        "passivity-enforcement runs (check vs. QP vs. model rebuild)",
+    )
+
+
+def _add_ingest_flags(parser: argparse.ArgumentParser) -> None:
+    """Data-conditioning flags shared by the fit and flow subcommands."""
+    group = parser.add_argument_group(
+        "data conditioning",
+        "repro.ingest pipeline applied to the input file; every action "
+        "is recorded in <output-dir>/ingest_report.json",
+    )
+    group.add_argument(
+        "--z0", type=float, default=None,
+        help="renormalize scattering data to this reference resistance "
+        "(ohm; default keeps the file's reference)",
+    )
+    group.add_argument(
+        "--drop-dc", action="store_true",
+        help="drop an f = 0 point instead of keeping it",
+    )
+    group.add_argument(
+        "--f-min", type=float, default=None,
+        help="low edge of the fitting band (Hz; a kept DC point survives)",
+    )
+    group.add_argument(
+        "--f-max", type=float, default=None,
+        help="high edge of the fitting band (Hz)",
+    )
+    group.add_argument(
+        "--max-points", type=int, default=None,
+        help="decimate the grid to at most this many points "
+        "(endpoints always kept)",
+    )
+    group.add_argument(
+        "--symmetrize", choices=["auto", "always", "never"], default="auto",
+        help="reciprocity symmetrization: 'auto' (default) enforces "
+        "S = S^T only on data already reciprocal to solver tolerance",
+    )
 
 
 def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:

@@ -161,12 +161,37 @@ class MacromodelingFlow:
         xi: np.ndarray,
         reference: np.ndarray,
     ) -> np.ndarray:
-        """Normalized, floored fitting weights from the sensitivity."""
+        """Normalized, floored fitting weights from the sensitivity.
+
+        External data can produce degenerate inputs the paper's synthetic
+        case never hits: a (near-)zero target-impedance sample would put
+        inf/NaN into the relative weights, and an identically-flat
+        sensitivity has no peak to normalize by.  The reference magnitude
+        is therefore clamped to a small fraction of its peak, and a
+        sensitivity with no positive finite peak falls back to uniform
+        weights (the weighted fit then degenerates to the standard one,
+        which is the right answer for zero information).
+        """
+        xi = np.asarray(xi, dtype=float)
+        if not np.all(np.isfinite(xi)):
+            raise ValueError("sensitivity contains non-finite entries")
         if self.options.weight_mode == "relative":
-            raw = xi / np.abs(reference)
+            ref_abs = np.abs(np.asarray(reference))
+            peak_ref = float(np.max(ref_abs, initial=0.0))
+            if not np.isfinite(peak_ref) or peak_ref <= 0.0:
+                raise ValueError(
+                    "reference impedance is zero or non-finite; relative "
+                    "weighting is undefined (use weight_mode='absolute')"
+                )
+            raw = xi / np.maximum(ref_abs, 1e-12 * peak_ref)
         else:
             raw = xi.copy()
-        normalized = raw / float(np.max(raw))
+        peak = float(np.max(raw, initial=0.0))
+        if not np.isfinite(peak):
+            raise ValueError("sensitivity weights overflowed to non-finite")
+        if peak <= 0.0:
+            return np.ones_like(raw)
+        normalized = raw / peak
         return np.maximum(normalized, self.options.weight_floor)
 
     def fit_weighted(

@@ -1,0 +1,38 @@
+"""repro.ingest: external-data conditioning and generic terminations.
+
+Opens the sensitivity-weighted flow to arbitrary multiport networks (the
+paper's "P-port structure known via its scattering matrix samples"):
+
+* :mod:`repro.ingest.conditioning` -- repair/conditioning pipeline over
+  :class:`~repro.sparams.network.NetworkData` (grid dedup, DC policy,
+  band selection, decimation, reciprocity symmetrization, reference-
+  impedance renormalization, raw-data passivity pre-check) with a
+  structured :class:`IngestReport`;
+* :mod:`repro.ingest.termination` -- :class:`TerminationNetwork`
+  construction from compact inline specs, JSON files or dicts for
+  networks that are not the built-in PDN cases.
+"""
+
+from repro.ingest.conditioning import (
+    ConditioningOptions,
+    IngestAction,
+    IngestReport,
+    condition_network,
+    load_network,
+)
+from repro.ingest.termination import (
+    build_termination,
+    ensure_excitation,
+    parse_termination_spec,
+)
+
+__all__ = [
+    "ConditioningOptions",
+    "IngestAction",
+    "IngestReport",
+    "condition_network",
+    "load_network",
+    "build_termination",
+    "ensure_excitation",
+    "parse_termination_spec",
+]

@@ -1,0 +1,392 @@
+"""Data conditioning for externally-sourced multiport networks.
+
+Field-solver and VNA Touchstone exports rarely arrive in the pristine form
+the macromodeling flow expects: grids are stitched from multiple bands
+(duplicate seam points, occasionally unsorted), the reference impedance is
+not the 50 ohm the paper's equations are normalized to, reciprocity holds
+only to solver tolerance (which disables the vector-fitting reciprocal
+fast path), and the raw data itself may be slightly non-passive.
+
+:func:`condition_network` runs a configurable repair pipeline over a
+:class:`~repro.sparams.network.NetworkData` and returns the conditioned
+data plus a structured :class:`IngestReport` of every action taken, so a
+campaign record (or a user) can audit exactly what was done to the data
+before fitting.  :func:`load_network` is the one-call entry point from a
+Touchstone file, folding the reader's own repairs (port-count inference,
+duplicate-point dedup) into the same report.
+
+Pipeline order (each step optional):
+
+1. DC-point policy (``keep`` / ``drop``);
+2. band selection [f_min, f_max];
+3. grid decimation down to ``max_points`` (endpoints always kept);
+4. reciprocity symmetrization (``auto`` symmetrizes only data that is
+   already reciprocal to ``reciprocity_tol``);
+5. reference-impedance renormalization to ``z0`` via
+   :func:`repro.sparams.conversions.renormalize_s`;
+6. raw-data passivity pre-check (scattering data only; recorded, never
+   fatal -- enforcement handles the model, not the data).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.sparams.conversions import renormalize_s
+from repro.sparams.network import NetworkData
+from repro.sparams.touchstone import TouchstoneInfo, read_touchstone_with_info
+from repro.util.logging import get_logger
+
+_LOG = get_logger(__name__)
+
+_SYMMETRIZE_MODES = ("auto", "always", "never")
+_DC_POLICIES = ("keep", "drop")
+
+
+@dataclass(frozen=True)
+class ConditioningOptions:
+    """Configuration of the ingest conditioning pipeline.
+
+    Parameters
+    ----------
+    z0:
+        Target reference resistance; ``None`` keeps the file's reference.
+        Renormalization uses the exact real-reference identity (Z-domain
+        round trip), so scattering data stays consistent with eq. (2).
+    dc_policy:
+        ``"keep"`` retains an f = 0 point, ``"drop"`` removes it (some
+        fitting configurations want a strictly positive grid).
+    f_min / f_max:
+        Inclusive band selection in Hz; ``None`` leaves that side open.
+        A kept DC point survives ``f_min`` (the DC policy owns it).
+    max_points:
+        Decimate the grid down to at most this many points (uniform in
+        index, endpoints always kept); ``None`` disables.
+    symmetrize:
+        ``"auto"`` enforces exact S = S^T only when the data is already
+        reciprocal to ``reciprocity_tol`` (removing solver noise so the
+        reciprocal vector-fitting fast path engages); ``"always"``
+        averages unconditionally; ``"never"`` leaves the data alone.
+    reciprocity_tol:
+        Relative asymmetry threshold of the ``auto`` mode.
+    passivity_margin:
+        Tolerated singular-value excess over 1 in the raw-data passivity
+        pre-check before a point counts as a violation.
+    """
+
+    z0: float | None = None
+    dc_policy: str = "keep"
+    f_min: float | None = None
+    f_max: float | None = None
+    max_points: int | None = None
+    symmetrize: str = "auto"
+    reciprocity_tol: float = 1e-6
+    passivity_margin: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.z0 is not None and self.z0 <= 0.0:
+            raise ValueError("z0 must be positive")
+        if self.dc_policy not in _DC_POLICIES:
+            raise ValueError(f"dc_policy must be one of {_DC_POLICIES}")
+        if self.symmetrize not in _SYMMETRIZE_MODES:
+            raise ValueError(f"symmetrize must be one of {_SYMMETRIZE_MODES}")
+        if self.max_points is not None and self.max_points < 2:
+            raise ValueError("max_points must be at least 2")
+        if (
+            self.f_min is not None
+            and self.f_max is not None
+            and self.f_min > self.f_max
+        ):
+            raise ValueError("f_min must not exceed f_max")
+        if self.reciprocity_tol <= 0.0:
+            raise ValueError("reciprocity_tol must be positive")
+        if self.passivity_margin < 0.0:
+            raise ValueError("passivity_margin must be non-negative")
+
+
+@dataclass(frozen=True)
+class IngestAction:
+    """One pipeline step: what ran, what it found, whether it changed data."""
+
+    step: str
+    detail: str
+    changed: bool
+
+    def to_dict(self) -> dict:
+        return {"step": self.step, "detail": self.detail, "changed": self.changed}
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Structured record of everything the conditioning pipeline did.
+
+    ``actions`` lists the steps in execution order; the scalar fields
+    summarize the headline facts a campaign record wants to keep.
+    """
+
+    source: str
+    n_ports: int
+    n_points_in: int
+    n_points_out: int
+    f_min_hz: float
+    f_max_hz: float
+    z0: float
+    kind: str
+    actions: tuple[IngestAction, ...] = ()
+    worst_sigma: float | None = None
+    n_passivity_violations: int | None = None
+    data_is_passive: bool | None = None
+    reciprocal: bool | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (campaign records, report files)."""
+        return {
+            "source": self.source,
+            "n_ports": self.n_ports,
+            "n_points_in": self.n_points_in,
+            "n_points_out": self.n_points_out,
+            "f_min_hz": self.f_min_hz,
+            "f_max_hz": self.f_max_hz,
+            "z0": self.z0,
+            "kind": self.kind,
+            "actions": [action.to_dict() for action in self.actions],
+            "worst_sigma": self.worst_sigma,
+            "n_passivity_violations": self.n_passivity_violations,
+            "data_is_passive": self.data_is_passive,
+            "reciprocal": self.reciprocal,
+        }
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=1) + "\n", encoding="utf-8"
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line report for CLI output."""
+        lines = [
+            f"ingest: {self.source} -- {self.n_ports} ports, "
+            f"{self.n_points_in} -> {self.n_points_out} points, "
+            f"{self.f_min_hz:g}-{self.f_max_hz:g} Hz, "
+            f"{self.kind.upper()}-parameters, z0={self.z0:g} ohm",
+        ]
+        for action in self.actions:
+            marker = "*" if action.changed else "-"
+            lines.append(f"  {marker} {action.step}: {action.detail}")
+        if self.data_is_passive is not None:
+            verdict = "passive" if self.data_is_passive else "NOT passive"
+            lines.append(
+                f"  - raw data {verdict} (worst sigma "
+                f"{self.worst_sigma:.6f}, {self.n_passivity_violations} "
+                "violating point(s))"
+            )
+        return "\n".join(lines)
+
+
+def _decimation_mask(n_points: int, max_points: int) -> np.ndarray:
+    """Boolean keep-mask selecting ~max_points indices incl. both endpoints."""
+    keep_indices = np.unique(
+        np.round(np.linspace(0, n_points - 1, max_points)).astype(int)
+    )
+    mask = np.zeros(n_points, dtype=bool)
+    mask[keep_indices] = True
+    return mask
+
+
+def condition_network(
+    data: NetworkData,
+    options: ConditioningOptions | None = None,
+    *,
+    source: str = "<memory>",
+    reader_actions: tuple[IngestAction, ...] = (),
+) -> tuple[NetworkData, IngestReport]:
+    """Run the conditioning pipeline; returns (conditioned data, report).
+
+    ``reader_actions`` lets :func:`load_network` prepend the Touchstone
+    reader's own repairs so one report covers the whole ingest path.
+    """
+    options = options or ConditioningOptions()
+    actions: list[IngestAction] = list(reader_actions)
+    n_in = data.n_frequencies
+
+    # 1. DC-point policy.
+    has_dc = data.frequencies[0] == 0.0
+    if options.dc_policy == "drop" and has_dc:
+        data = data.without_dc()
+        actions.append(IngestAction("dc_policy", "dropped the f = 0 point", True))
+    elif options.dc_policy == "drop":
+        actions.append(IngestAction("dc_policy", "no DC point present", False))
+
+    # 2. Band selection (a kept DC point is owned by the DC policy).
+    if options.f_min is not None or options.f_max is not None:
+        lo = options.f_min if options.f_min is not None else -np.inf
+        hi = options.f_max if options.f_max is not None else np.inf
+        mask = (data.frequencies >= lo) & (data.frequencies <= hi)
+        if options.dc_policy == "keep" and data.frequencies[0] == 0.0:
+            mask[0] = True
+        if not mask.any():
+            raise ValueError(
+                f"band [{lo:g}, {hi:g}] Hz selects no frequency points"
+            )
+        dropped = int(np.count_nonzero(~mask))
+        if dropped:
+            data = data.subset(mask)
+        actions.append(
+            IngestAction(
+                "band_selection",
+                f"[{lo:g}, {hi:g}] Hz kept {data.n_frequencies} points "
+                f"(dropped {dropped})",
+                dropped > 0,
+            )
+        )
+
+    # 3. Grid decimation.
+    if options.max_points is not None and data.n_frequencies > options.max_points:
+        before = data.n_frequencies
+        data = data.subset(_decimation_mask(before, options.max_points))
+        actions.append(
+            IngestAction(
+                "decimation",
+                f"{before} -> {data.n_frequencies} points "
+                f"(max_points={options.max_points})",
+                True,
+            )
+        )
+
+    # 4. Reciprocity symmetrization.
+    reciprocal: bool | None = None
+    if data.n_ports > 1 and options.symmetrize != "never":
+        transposed = np.transpose(data.samples, (0, 2, 1))
+        scale = max(float(np.max(np.abs(data.samples))), 1e-30)
+        asymmetry = float(np.max(np.abs(data.samples - transposed))) / scale
+        nearly = asymmetry <= options.reciprocity_tol
+        if asymmetry == 0.0:
+            reciprocal = True
+            actions.append(
+                IngestAction("symmetrize", "data already exactly reciprocal", False)
+            )
+        elif options.symmetrize == "always" or nearly:
+            data = data.with_samples(0.5 * (data.samples + transposed))
+            reciprocal = True
+            actions.append(
+                IngestAction(
+                    "symmetrize",
+                    f"enforced S = S^T (relative asymmetry {asymmetry:.3e})",
+                    True,
+                )
+            )
+        else:
+            reciprocal = False
+            actions.append(
+                IngestAction(
+                    "symmetrize",
+                    f"left non-reciprocal data alone (relative asymmetry "
+                    f"{asymmetry:.3e} > tol {options.reciprocity_tol:g})",
+                    False,
+                )
+            )
+    elif data.n_ports > 1:
+        reciprocal = data.is_reciprocal(options.reciprocity_tol)
+
+    # 5. Reference-impedance renormalization.
+    if options.z0 is not None and options.z0 != data.z0:
+        if data.kind != "s":
+            raise ValueError(
+                "z0 renormalization applies to scattering data only "
+                f"(got kind {data.kind!r})"
+            )
+        old_z0 = data.z0
+        data = replace(
+            data,
+            samples=renormalize_s(data.samples, old_z0, options.z0),
+            z0=options.z0,
+        )
+        actions.append(
+            IngestAction(
+                "renormalize",
+                f"reference impedance {old_z0:g} -> {options.z0:g} ohm",
+                True,
+            )
+        )
+
+    # 6. Raw-data passivity pre-check (recorded, never fatal).
+    worst_sigma = None
+    n_violations = None
+    is_passive = None
+    if data.kind == "s":
+        metric = data.passivity_metric()
+        worst_sigma = float(np.max(metric))
+        n_violations = int(np.count_nonzero(metric > 1.0 + options.passivity_margin))
+        is_passive = n_violations == 0
+        if not is_passive:
+            _LOG.warning(
+                "%s: raw data is not passive (worst sigma %.6f at %d "
+                "point(s)); the enforced macromodel will deviate there",
+                source,
+                worst_sigma,
+                n_violations,
+            )
+
+    report = IngestReport(
+        source=source,
+        n_ports=data.n_ports,
+        n_points_in=n_in,
+        n_points_out=data.n_frequencies,
+        f_min_hz=float(data.frequencies[0]),
+        f_max_hz=float(data.frequencies[-1]),
+        z0=float(data.z0),
+        kind=data.kind,
+        actions=tuple(actions),
+        worst_sigma=worst_sigma,
+        n_passivity_violations=n_violations,
+        data_is_passive=is_passive,
+        reciprocal=reciprocal,
+    )
+    return data, report
+
+
+def _reader_actions(info: TouchstoneInfo) -> tuple[IngestAction, ...]:
+    """Translate the Touchstone reader's repairs into report actions."""
+    actions = [
+        IngestAction(
+            "port_count",
+            f"{info.n_ports} ports ({info.ports_source})",
+            False,
+        )
+    ]
+    if not info.grid_was_sorted:
+        actions.append(
+            IngestAction("sort_grid", "sorted an unsorted frequency grid", True)
+        )
+    if info.n_duplicates_dropped:
+        actions.append(
+            IngestAction(
+                "dedupe_grid",
+                f"dropped {info.n_duplicates_dropped} coincident frequency "
+                "point(s), keeping first occurrences",
+                True,
+            )
+        )
+    return tuple(actions)
+
+
+def load_network(
+    path: str | Path,
+    options: ConditioningOptions | None = None,
+) -> tuple[NetworkData, IngestReport]:
+    """Read a Touchstone file and condition it in one call.
+
+    Returns the conditioned :class:`NetworkData` and an
+    :class:`IngestReport` covering both the reader's repairs and the
+    conditioning pipeline's.
+    """
+    data, info = read_touchstone_with_info(path)
+    return condition_network(
+        data,
+        options,
+        source=str(path),
+        reader_actions=_reader_actions(info),
+    )

@@ -1,0 +1,275 @@
+"""Generic termination construction for arbitrary multiport networks.
+
+The synthetic PDN test cases know their own nominal termination scheme;
+an external ``.sNp`` file does not.  This module builds a
+:class:`~repro.pdn.termination.TerminationNetwork` for *any* port count
+from a compact spec that fits on a command line, a JSON file in the
+existing :mod:`repro.pdn.spec` format, or an in-memory dict.
+
+Compact spec grammar (entries separated by ``;``, applied in order, later
+entries override earlier ones for the same ports)::
+
+    spec      := entry (';' entry)*
+    entry     := target '=' component | component      # bare => all ports
+    target    := '*' | INDEX | INDEX '-' INDEX          # 0-based, inclusive
+    component := name [ '(' param (',' param)* ')' ]
+    param     := key '=' value | value                  # positional by field
+
+Component names and their parameter fields (positional order):
+
+    open                --
+    short(resistance)   near-ideal short (default 1e-6 ohm)
+    r(resistance)       resistor to ground  [aliases: res, resistor]
+    rlc(r, l, c)        generic series R+L+C; omit c for R/L/RL branches
+    vrm(r, l)           VRM output model (series R + L)
+    decap(c, esr, esl)  decoupling capacitor
+    die(r, c)           die block series RC  [alias: die_rc]
+
+Any entry also accepts ``j=<amps>`` to place a current excitation at the
+targeted port(s).  Examples::
+
+    *=r(50)
+    0=rlc(r=0.2,c=2e-9,j=1);1=short(1e-4);2-3=open
+    default JSON files keep working: --termination case/termination.json
+
+If the finished network has no excitation anywhere,
+:func:`build_termination` places the nominal 1 A at the observation port
+(the target-impedance definition of eq. 2 needs a nonzero J).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuits.components import (
+    DecouplingCapacitor,
+    DieBlock,
+    OpenTermination,
+    PortTermination,
+    ResistiveTermination,
+    SeriesRLC,
+    ShortTermination,
+    VRMModel,
+)
+from repro.pdn.spec import load_termination, termination_from_dict
+from repro.pdn.termination import TerminationNetwork
+from repro.util.logging import get_logger
+
+_LOG = get_logger(__name__)
+
+#: component name -> (constructor, positional field order, key aliases)
+_COMPONENTS: dict[str, tuple[type, tuple[str, ...], dict[str, str]]] = {
+    "open": (OpenTermination, (), {}),
+    "short": (ShortTermination, ("resistance",), {"r": "resistance"}),
+    "r": (ResistiveTermination, ("resistance",), {"r": "resistance"}),
+    "rlc": (
+        SeriesRLC,
+        ("resistance", "inductance", "capacitance"),
+        {"r": "resistance", "l": "inductance", "c": "capacitance"},
+    ),
+    "vrm": (
+        VRMModel,
+        ("resistance", "inductance"),
+        {"r": "resistance", "l": "inductance"},
+    ),
+    "decap": (
+        DecouplingCapacitor,
+        ("capacitance", "esr", "esl"),
+        {"c": "capacitance"},
+    ),
+    "die": (
+        DieBlock,
+        ("resistance", "capacitance"),
+        {"r": "resistance", "c": "capacitance"},
+    ),
+}
+_COMPONENTS["res"] = _COMPONENTS["r"]
+_COMPONENTS["resistor"] = _COMPONENTS["r"]
+_COMPONENTS["die_rc"] = _COMPONENTS["die"]
+
+_ENTRY_RE = re.compile(
+    r"^(?:(?P<target>[^=()]+)=)?(?P<name>[a-zA-Z_]+)"
+    r"(?:\((?P<params>[^()]*)\))?$"
+)
+
+
+def _parse_target(text: str | None, n_ports: int, entry: str) -> list[int]:
+    """Resolve an entry target to a list of 0-based port indices."""
+    if text is None or text.strip() == "*":
+        return list(range(n_ports))
+    text = text.strip()
+    match = re.fullmatch(r"(\d+)(?:-(\d+))?", text)
+    if not match:
+        raise ValueError(
+            f"bad port target {text!r} in termination entry {entry!r} "
+            "(use '*', an index, or 'a-b')"
+        )
+    lo = int(match.group(1))
+    hi = int(match.group(2)) if match.group(2) else lo
+    if lo > hi:
+        raise ValueError(f"empty port range {text!r} in entry {entry!r}")
+    if hi >= n_ports:
+        raise ValueError(
+            f"port {hi} out of range in entry {entry!r} "
+            f"(network has {n_ports} ports, 0-based)"
+        )
+    return list(range(lo, hi + 1))
+
+
+def _parse_params(
+    text: str | None, positional: tuple[str, ...], aliases: dict[str, str],
+    entry: str,
+) -> tuple[dict[str, float], float | None]:
+    """Parse the parenthesized parameter list; returns (kwargs, excitation)."""
+    kwargs: dict[str, float] = {}
+    excitation: float | None = None
+    if not text or not text.strip():
+        return kwargs, excitation
+    position = 0
+    saw_keyword = False
+    for raw in text.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        if "=" in raw:
+            key, _, value = raw.partition("=")
+            key = key.strip().lower()
+            if key == "j":
+                excitation = float(value)
+                continue
+            key = aliases.get(key, key)
+            if key not in positional:
+                raise ValueError(
+                    f"unknown parameter {key!r} in termination entry "
+                    f"{entry!r} (expects {list(positional) or 'none'})"
+                )
+            kwargs[key] = float(value)
+            saw_keyword = True
+        else:
+            if saw_keyword:
+                raise ValueError(
+                    f"positional parameter {raw!r} after a keyword "
+                    f"parameter in termination entry {entry!r}"
+                )
+            if position >= len(positional):
+                raise ValueError(
+                    f"too many positional parameters in termination entry "
+                    f"{entry!r} (expects at most {len(positional)})"
+                )
+            kwargs[positional[position]] = float(raw)
+            position += 1
+    return kwargs, excitation
+
+
+def parse_termination_spec(text: str, n_ports: int) -> TerminationNetwork:
+    """Build a termination network from a compact inline spec string.
+
+    Unspecified ports are left open.  See the module docstring for the
+    grammar.
+    """
+    if not text.strip():
+        raise ValueError("empty termination spec")
+    terminations: list[PortTermination] = [
+        OpenTermination() for _ in range(n_ports)
+    ]
+    excitations = np.zeros(n_ports)
+    for entry in text.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        match = _ENTRY_RE.match(entry)
+        if not match:
+            raise ValueError(
+                f"cannot parse termination entry {entry!r} "
+                "(expected [target=]name[(params)])"
+            )
+        name = match.group("name").lower()
+        spec = _COMPONENTS.get(name)
+        if spec is None:
+            raise ValueError(
+                f"unknown termination component {name!r} in entry {entry!r} "
+                f"(known: {sorted(set(_COMPONENTS))})"
+            )
+        constructor, positional, aliases = spec
+        kwargs, excitation = _parse_params(
+            match.group("params"), positional, aliases, entry
+        )
+        try:
+            component = constructor(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"bad parameters in termination entry {entry!r}: {exc}"
+            ) from exc
+        for port in _parse_target(match.group("target"), n_ports, entry):
+            terminations[port] = component
+            # Later entries fully override earlier ones, excitation
+            # included: an entry without j= clears any earlier source.
+            excitations[port] = excitation if excitation is not None else 0.0
+    return TerminationNetwork(terminations=terminations, excitations=excitations)
+
+
+def ensure_excitation(
+    network: TerminationNetwork, observe_port: int
+) -> TerminationNetwork:
+    """Guarantee a nonzero excitation vector (eq. 2 needs J != 0).
+
+    When the spec placed no current source anywhere, the nominal 1 A is
+    injected at the observation port -- the target impedance then reduces
+    to the loaded transfer impedance Z(observe, observe).
+    """
+    if np.any(network.excitations):
+        return network
+    if not 0 <= observe_port < network.n_ports:
+        raise ValueError(
+            f"observe_port {observe_port} out of range for "
+            f"{network.n_ports}-port network"
+        )
+    excitations = np.zeros(network.n_ports)
+    excitations[observe_port] = 1.0
+    _LOG.info(
+        "termination spec has no excitation; injecting 1 A at port %d",
+        observe_port,
+    )
+    return TerminationNetwork(
+        terminations=list(network.terminations), excitations=excitations
+    )
+
+
+def build_termination(
+    spec: str | Path | dict | TerminationNetwork | None,
+    n_ports: int,
+    *,
+    observe_port: int = 0,
+    default_z0: float = 50.0,
+) -> TerminationNetwork:
+    """Resolve any supported termination description to a network.
+
+    ``spec`` may be a :class:`TerminationNetwork` (validated and passed
+    through), a dict in the :mod:`repro.pdn.spec` JSON schema, a path to
+    such a JSON file (recognized by its ``.json`` suffix, so inline specs
+    never depend on what happens to exist in the cwd), a compact inline
+    spec string, or ``None`` --
+    which terminates every port with a matched ``default_z0`` resistor
+    (the conventional loading for a generic multiport).  The result is
+    always given a nonzero excitation via :func:`ensure_excitation`.
+    """
+    if spec is None:
+        network = parse_termination_spec(f"*=r({default_z0:g})", n_ports)
+    elif isinstance(spec, TerminationNetwork):
+        network = spec
+    elif isinstance(spec, dict):
+        network = termination_from_dict(spec)
+    else:
+        text = str(spec)
+        if text.lower().endswith(".json"):
+            network = load_termination(text)
+        else:
+            network = parse_termination_spec(text, n_ports)
+    if network.n_ports != n_ports:
+        raise ValueError(
+            f"termination has {network.n_ports} ports, data has {n_ports}"
+        )
+    return ensure_excitation(network, observe_port)

@@ -28,6 +28,7 @@ from repro.circuits.components import (
     OpenTermination,
     PortTermination,
     ResistiveTermination,
+    SeriesRLC,
     ShortTermination,
     VRMModel,
 )
@@ -50,6 +51,8 @@ def _build_component(entry: dict) -> PortTermination:
             return DecouplingCapacitor(**params)
         if kind == "die_rc":
             return DieBlock(**params)
+        if kind == "series_rlc":
+            return SeriesRLC(**params)
     except TypeError as exc:
         raise ValueError(f"bad parameters for termination {kind!r}: {exc}") from exc
     raise ValueError(f"unknown termination type {kind!r}")
@@ -62,6 +65,7 @@ _COMPONENT_NAMES = {
     VRMModel: "vrm",
     DecouplingCapacitor: "decap",
     DieBlock: "die_rc",
+    SeriesRLC: "series_rlc",
 }
 
 _COMPONENT_FIELDS = {
@@ -71,6 +75,7 @@ _COMPONENT_FIELDS = {
     "vrm": ("resistance", "inductance"),
     "decap": ("capacitance", "esr", "esl"),
     "die_rc": ("resistance", "capacitance"),
+    "series_rlc": ("resistance", "inductance", "capacitance"),
 }
 
 

@@ -30,8 +30,12 @@ from the same plane geometry.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as _dc_replace
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.ingest.conditioning import IngestReport
 
 from repro.circuits.components import (
     DecouplingCapacitor,
@@ -52,29 +56,46 @@ _TOTAL_SWITCHING_CURRENT = 1.0  # amperes, as in the paper (Sec. IV)
 
 @dataclass
 class PDNTestCase:
-    """Bundle of everything needed to run the paper's experiments."""
+    """Bundle of everything needed to run the paper's experiments.
+
+    ``geometry`` and ``circuit`` are ``None`` for test cases built from
+    external tabulated data (:mod:`repro.ingest`): the flow only needs
+    the scattering samples, the termination and the observation port.
+    """
 
     name: str
-    geometry: PDNGeometry
-    circuit: Circuit
+    geometry: PDNGeometry | None
+    circuit: Circuit | None
     data: NetworkData
     termination: TerminationNetwork
     observe_port: int
+    #: Conditioning report when the data came through repro.ingest.
+    ingest: "IngestReport | None" = None
 
     @property
     def die_ports(self) -> list[int]:
-        return self.geometry.ports_with_role("die")
+        return self.geometry.ports_with_role("die") if self.geometry else []
 
     @property
     def decap_ports(self) -> list[int]:
-        return self.geometry.ports_with_role("decap")
+        return self.geometry.ports_with_role("decap") if self.geometry else []
 
     @property
     def vrm_ports(self) -> list[int]:
-        return self.geometry.ports_with_role("vrm")
+        return self.geometry.ports_with_role("vrm") if self.geometry else []
 
     def summary(self) -> str:
         """Human-readable description of the test case."""
+        if self.geometry is None:
+            head = [
+                f"test case {self.name!r}: {self.data.n_ports} ports "
+                "(external data)",
+                f"frequency grid: {self.data.n_frequencies} points, "
+                f"{self.data.frequencies[0]:g} Hz - "
+                f"{self.data.frequencies[-1]:g} Hz",
+                f"observation port: {self.observe_port}",
+            ]
+            return "\n".join(head + self.termination.describe())
         g = self.geometry
         lines = [
             f"test case {self.name!r}: {len(g.ports)} ports "

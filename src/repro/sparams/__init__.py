@@ -10,7 +10,12 @@ from repro.sparams.conversions import (
     z_to_y,
     renormalize_s,
 )
-from repro.sparams.touchstone import read_touchstone, write_touchstone
+from repro.sparams.touchstone import (
+    TouchstoneInfo,
+    read_touchstone,
+    read_touchstone_with_info,
+    write_touchstone,
+)
 
 __all__ = [
     "NetworkData",
@@ -21,6 +26,8 @@ __all__ = [
     "y_to_z",
     "z_to_y",
     "renormalize_s",
+    "TouchstoneInfo",
     "read_touchstone",
+    "read_touchstone_with_info",
     "write_touchstone",
 ]

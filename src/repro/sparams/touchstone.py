@@ -8,11 +8,30 @@ paper's input data format).
 
 The 2-port convention quirk of Touchstone v1 (data stored as S11 S21 S12
 S22, i.e. column-major) is honoured on both read and write.
+
+Robustness notes for field-solver exports:
+
+* **Port-count inference** -- when the file name carries no ``.sNp``
+  suffix, the port count is inferred by *validating* candidate reshapes
+  (the frequency column of the correct block size is monotone; wrong
+  block sizes interleave data values into it), not by picking the
+  smallest divisor (which silently misreads every 2-port file as 1-port,
+  since 9-value blocks always divide by 3).  A suffix always wins, with a
+  warning when the data layout disagrees with it.
+* **Duplicate grid points** -- stitched multi-band exports commonly
+  repeat the seam frequency; coincident points (relative tolerance) are
+  dropped keep-first before the strict-grid validation would reject them.
+* **Metadata round-trip** -- port names are written as ``! Port[n] =``
+  comments and read back into ``NetworkData.port_names``;
+  :func:`read_touchstone_with_info` additionally returns the source
+  format/unit so a file can be re-written in its original convention.
 """
 
 from __future__ import annotations
 
 import re
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -21,11 +40,39 @@ from repro.sparams.network import NetworkData
 
 _UNIT_SCALE = {"hz": 1.0, "khz": 1e3, "mhz": 1e6, "ghz": 1e9}
 
+#: Two grid points closer than this (relative to the larger one) are
+#: considered the same frequency; the first occurrence wins.
+_DUPLICATE_RTOL = 1e-9
 
-def _parse_option_line(line: str) -> tuple[float, str, str, float]:
+#: Anchored to the start of the comment: only dedicated '! Port[n] = name'
+#: lines (the convention the writer emits) count, not free-text commentary
+#: that happens to mention Port[n] somewhere.
+_PORT_NAME_RE = re.compile(r"\s*Port\[(\d+)\]\s*=\s*(.+?)\s*$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class TouchstoneInfo:
+    """Source-file metadata that does not fit in :class:`NetworkData`.
+
+    Returned by :func:`read_touchstone_with_info` so callers can re-write
+    a file in its original convention (format, unit) and audit how the
+    reader interpreted it (port-count source, grid repairs).
+    """
+
+    fmt: str
+    unit: str
+    kind: str
+    z0: float
+    n_ports: int
+    ports_source: str  # "suffix" or "inferred"
+    n_duplicates_dropped: int = 0
+    grid_was_sorted: bool = True
+
+
+def _parse_option_line(line: str) -> tuple[float, str, str, str, float]:
     """Parse a ``# <unit> <type> <format> R <z0>`` option line."""
     tokens = line[1:].split()
-    unit_scale = 1e9  # Touchstone default unit is GHz
+    unit = "ghz"  # Touchstone default unit is GHz
     kind = "s"
     fmt = "ma"  # Touchstone default format
     z0 = 50.0
@@ -33,7 +80,7 @@ def _parse_option_line(line: str) -> tuple[float, str, str, float]:
     while i < len(tokens):
         token = tokens[i].lower()
         if token in _UNIT_SCALE:
-            unit_scale = _UNIT_SCALE[token]
+            unit = token
         elif token in ("s", "y", "z"):
             kind = token
         elif token in ("g", "h"):
@@ -48,7 +95,7 @@ def _parse_option_line(line: str) -> tuple[float, str, str, float]:
         else:
             raise ValueError(f"unrecognized token {token!r} in option line")
         i += 1
-    return unit_scale, kind, fmt, z0
+    return _UNIT_SCALE[unit], unit, kind, fmt, z0
 
 
 def _pairs_to_complex(pairs: np.ndarray, fmt: str) -> np.ndarray:
@@ -85,24 +132,124 @@ def _ports_from_suffix(path: Path) -> int | None:
     return None
 
 
-def read_touchstone(path: str | Path) -> NetworkData:
-    """Read a Touchstone v1 file into a :class:`NetworkData`.
+def _frequency_column_plausible(values: np.ndarray, ports: int) -> bool:
+    """True when the candidate reshape's column 0 could hold frequencies.
 
-    The port count is taken from the ``.sNp`` suffix when present, otherwise
-    inferred from the number of values per frequency block.
+    Non-negative and finite: a wrong block size interleaves S-parameter
+    values, which are negative about half the time.
+    """
+    block = 1 + 2 * ports * ports
+    column = values.reshape(-1, block)[:, 0]
+    return bool(np.all(column >= 0.0) and np.all(np.isfinite(column)))
+
+
+def _frequency_column_valid(values: np.ndarray, ports: int) -> bool:
+    """True when the candidate reshape yields a monotone frequency column.
+
+    Duplicate seam points are allowed here -- they are deduplicated
+    later.  Unsorted exports fail this test but may still pass
+    :func:`_frequency_column_plausible`.
+    """
+    if not _frequency_column_plausible(values, ports):
+        return False
+    block = 1 + 2 * ports * ports
+    column = values.reshape(-1, block)[:, 0]
+    return bool(np.all(np.diff(column) >= 0.0))
+
+
+def _infer_ports(values: np.ndarray, path: Path) -> int:
+    """Infer the port count of a suffix-less file by validating reshapes.
+
+    Candidates are ranked by evidence strength: a monotone frequency
+    column over at least two blocks beats a merely non-negative one
+    (unsorted export), which beats a single-block reshape (trivially
+    monotone, no layout evidence -- only acceptable when nothing larger
+    fits, e.g. a genuine single-frequency file).
+    """
+    divisible = [
+        p for p in range(1, 65) if values.size % (1 + 2 * p * p) == 0
+    ]
+    plausible = [p for p in divisible if _frequency_column_plausible(values, p)]
+    multi = [p for p in plausible if values.size // (1 + 2 * p * p) >= 2]
+    for tier in (
+        [p for p in multi if _frequency_column_valid(values, p)],
+        multi,
+        plausible,
+    ):
+        if tier:
+            candidates = tier
+            break
+    else:
+        raise ValueError(
+            f"{path}: could not infer port count from the data layout; "
+            "rename the file with its .sNp suffix"
+        )
+    # Warn whenever any other plausible reading exists, including ones the
+    # tier ranking discarded: a one-frequency P-port file also reshapes
+    # into several blocks of a smaller port count, and only the suffix can
+    # truly settle that.
+    if len(plausible) > 1:
+        warnings.warn(
+            f"{path}: ambiguous port count (plausible candidates "
+            f"{plausible}); assuming {candidates[0]} ports -- rename the "
+            "file with its .sNp suffix to disambiguate",
+            stacklevel=3,
+        )
+    return candidates[0]
+
+
+def _dedupe_grid(
+    frequencies: np.ndarray, samples: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int, bool]:
+    """Sort the grid and drop coincident points, keeping first occurrences.
+
+    Returns ``(frequencies, samples, n_dropped, was_sorted)``.  The stable
+    sort preserves file order among equal frequencies, so "keep first"
+    means the first point as written by the exporter.
+    """
+    # Duplicates are a dedup matter, not a sort-order one: a sorted grid
+    # with repeated seam points must not be reported as unsorted.
+    was_sorted = bool(np.all(np.diff(frequencies) >= 0.0))
+    order = np.argsort(frequencies, kind="stable")
+    frequencies = frequencies[order]
+    samples = samples[order]
+    gaps = np.diff(frequencies)
+    tolerance = _DUPLICATE_RTOL * frequencies[1:]
+    keep = np.concatenate([[True], gaps > tolerance])
+    n_dropped = int(np.count_nonzero(~keep))
+    if n_dropped:
+        frequencies = frequencies[keep]
+        samples = samples[keep]
+    return frequencies, samples, n_dropped, was_sorted
+
+
+def read_touchstone_with_info(
+    path: str | Path,
+) -> tuple[NetworkData, TouchstoneInfo]:
+    """Read a Touchstone v1 file, returning the data and source metadata.
+
+    The port count is taken from the ``.sNp`` suffix when present,
+    otherwise inferred by validating candidate block reshapes (see module
+    docstring).  Duplicate/unsorted frequency points are repaired and
+    reported in the returned :class:`TouchstoneInfo`.
     """
     path = Path(path)
-    unit_scale, kind, fmt, z0 = 1e9, "s", "ma", 50.0
+    unit_scale, unit, kind, fmt, z0 = 1e9, "ghz", "s", "ma", 50.0
     numbers: list[float] = []
+    port_names: dict[int, str] = {}
     saw_option = False
     with path.open("r", encoding="utf-8", errors="replace") as handle:
         for raw_line in handle:
-            line = raw_line.split("!", 1)[0].strip()
+            data_part, _, comment = raw_line.partition("!")
+            name_match = _PORT_NAME_RE.match(comment)
+            if name_match:
+                port_names[int(name_match.group(1))] = name_match.group(2)
+            line = data_part.strip()
             if not line:
                 continue
             if line.startswith("#"):
                 if not saw_option:  # per spec, only the first option line counts
-                    unit_scale, kind, fmt, z0 = _parse_option_line(line)
+                    unit_scale, unit, kind, fmt, z0 = _parse_option_line(line)
                     saw_option = True
                 continue
             if line.startswith("["):  # Touchstone v2 keyword; not supported
@@ -112,24 +259,42 @@ def read_touchstone(path: str | Path) -> NetworkData:
     if not numbers:
         raise ValueError(f"no data found in {path}")
 
-    ports = _ports_from_suffix(path)
     values = np.asarray(numbers)
-    if ports is None:
-        # Each frequency block is 1 + 2*P*P numbers; find the smallest P
-        # that divides the stream evenly.
-        for candidate in range(1, 65):
-            if values.size % (1 + 2 * candidate * candidate) == 0:
-                ports = candidate
-                break
-        else:
-            raise ValueError("could not infer port count from data layout")
+    suffix_ports = _ports_from_suffix(path)
+    if suffix_ports is not None:
+        ports = suffix_ports
+        ports_source = "suffix"
+        block = 1 + 2 * ports * ports
+        if values.size % block != 0:
+            raise ValueError(
+                f"{path}: file size inconsistent with the .s{ports}p suffix "
+                f"({values.size} values, block {block})"
+            )
+        if not _frequency_column_valid(values, ports):
+            # Unsorted grids legitimately fail the monotone test, so only
+            # warn when some *other* block size yields a clean layout of
+            # at least two blocks (a single block is trivially monotone
+            # and carries no layout evidence).
+            alternatives = [
+                p
+                for p in range(1, 65)
+                if p != ports
+                and values.size % (1 + 2 * p * p) == 0
+                and values.size // (1 + 2 * p * p) >= 2
+                and _frequency_column_valid(values, p)
+            ]
+            if alternatives:
+                warnings.warn(
+                    f"{path}: data layout disagrees with the .s{ports}p "
+                    f"suffix (a {alternatives[0]}-port layout would parse "
+                    "cleanly); trusting the suffix",
+                    stacklevel=2,
+                )
+    else:
+        ports = _infer_ports(values, path)
+        ports_source = "inferred"
 
     block = 1 + 2 * ports * ports
-    if values.size % block != 0:
-        raise ValueError(
-            f"file size inconsistent with {ports}-port data "
-            f"({values.size} values, block {block})"
-        )
     values = values.reshape(-1, block)
     frequencies = values[:, 0] * unit_scale
     pairs = values[:, 1:].reshape(-1, 2)
@@ -141,10 +306,47 @@ def read_touchstone(path: str | Path) -> NetworkData:
     else:
         samples = flat.reshape(-1, ports, ports)
 
-    order = np.argsort(frequencies)
-    return NetworkData(
-        frequencies=frequencies[order], samples=samples[order], kind=kind, z0=z0
+    frequencies, samples, n_dropped, was_sorted = _dedupe_grid(
+        frequencies, samples
     )
+    if n_dropped:
+        warnings.warn(
+            f"{path}: dropped {n_dropped} duplicate frequency point(s) "
+            "(kept the first occurrence of each)",
+            stacklevel=2,
+        )
+
+    names: tuple[str, ...] = ()
+    if port_names and set(port_names) == set(range(1, ports + 1)):
+        names = tuple(port_names[p] for p in range(1, ports + 1))
+
+    data = NetworkData(
+        frequencies=frequencies,
+        samples=samples,
+        kind=kind,
+        z0=z0,
+        port_names=names,
+    )
+    info = TouchstoneInfo(
+        fmt=fmt,
+        unit=unit,
+        kind=kind,
+        z0=z0,
+        n_ports=ports,
+        ports_source=ports_source,
+        n_duplicates_dropped=n_dropped,
+        grid_was_sorted=was_sorted,
+    )
+    return data, info
+
+
+def read_touchstone(path: str | Path) -> NetworkData:
+    """Read a Touchstone v1 file into a :class:`NetworkData`.
+
+    See :func:`read_touchstone_with_info` for the source-metadata variant.
+    """
+    data, _ = read_touchstone_with_info(path)
+    return data
 
 
 def write_touchstone(
@@ -154,7 +356,12 @@ def write_touchstone(
     fmt: str = "ri",
     unit: str = "hz",
 ) -> None:
-    """Write a :class:`NetworkData` to a Touchstone v1 file."""
+    """Write a :class:`NetworkData` to a Touchstone v1 file.
+
+    Port names, when present, are written as ``! Port[n] = name`` comment
+    lines (the convention used by common field solvers) and read back by
+    :func:`read_touchstone`.
+    """
     fmt = fmt.lower()
     unit = unit.lower()
     if fmt not in ("ri", "ma", "db"):
@@ -170,8 +377,14 @@ def write_touchstone(
     lines = [
         f"! {data.n_ports}-port {data.kind.upper()}-parameter data, "
         f"{data.n_frequencies} points",
-        f"# {unit.upper()} {data.kind.upper()} {fmt.upper()} R {data.z0:g}",
     ]
+    lines.extend(
+        f"! Port[{index + 1}] = {name}"
+        for index, name in enumerate(data.port_names)
+    )
+    lines.append(
+        f"# {unit.upper()} {data.kind.upper()} {fmt.upper()} R {data.z0:g}"
+    )
     for k in range(data.n_frequencies):
         matrix = data.samples[k]
         if data.n_ports == 2:

@@ -4,7 +4,11 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.sparams.network import NetworkData
-from repro.sparams.touchstone import read_touchstone, write_touchstone
+from repro.sparams.touchstone import (
+    read_touchstone,
+    read_touchstone_with_info,
+    write_touchstone,
+)
 from repro.statespace.serialization import load_model, save_model
 from tests.conftest import make_random_stable_model
 
@@ -14,23 +18,38 @@ def network_data(draw):
     k = draw(st.integers(min_value=1, max_value=6))
     p = draw(st.integers(min_value=1, max_value=4))
     seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    named = draw(st.booleans())
     rng = np.random.default_rng(seed)
     f = np.sort(rng.uniform(1e3, 1e9, size=k))
     while np.any(np.diff(f) <= 0):  # enforce strict monotonicity
         f = np.sort(rng.uniform(1e3, 1e9, size=k))
     s = 0.5 * (rng.normal(size=(k, p, p)) + 1j * rng.normal(size=(k, p, p)))
-    return NetworkData(frequencies=f, samples=s)
+    names = tuple(f"port {i + 1}" for i in range(p)) if named else ()
+    return NetworkData(frequencies=f, samples=s, port_names=names)
 
 
-@given(network_data(), st.sampled_from(["ri", "ma", "db"]))
-@settings(max_examples=25, deadline=None)
-def test_touchstone_roundtrip_property(tmp_path_factory, data, fmt):
+@given(
+    network_data(),
+    st.sampled_from(["ri", "ma", "db"]),
+    st.sampled_from(["hz", "khz", "mhz", "ghz"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_touchstone_roundtrip_property(tmp_path_factory, data, fmt, unit):
+    """Write/read round-trip over formats x units x P in 1..4.
+
+    Covers the 2-port column-major quirk (P = 2 with asymmetric random
+    samples), port-name comments, and the source-convention metadata.
+    """
     path = tmp_path_factory.mktemp("ts") / f"x.s{data.n_ports}p"
-    write_touchstone(data, path, fmt=fmt)
-    back = read_touchstone(path)
+    write_touchstone(data, path, fmt=fmt, unit=unit)
+    back, info = read_touchstone_with_info(path)
     assert back.n_ports == data.n_ports
     assert np.allclose(back.frequencies, data.frequencies, rtol=1e-9)
     assert np.allclose(back.samples, data.samples, atol=1e-8)
+    assert back.port_names == data.port_names
+    assert (info.fmt, info.unit) == (fmt, unit)
+    assert info.ports_source == "suffix"
+    assert info.n_duplicates_dropped == 0
 
 
 @given(st.integers(min_value=0, max_value=2**31 - 1))

@@ -1,0 +1,279 @@
+"""Robustness tests for the Touchstone reader/writer.
+
+Covers the external-data bug class: port-count inference for suffix-less
+files, duplicate/unsorted grids from stitched solver exports, option-line
+edge cases, and metadata (port names, format/unit) round-trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sparams.network import NetworkData
+from repro.sparams.touchstone import (
+    read_touchstone,
+    read_touchstone_with_info,
+    write_touchstone,
+)
+
+
+def _random_network(p, k=7, seed=0, port_names=()):
+    rng = np.random.default_rng(seed + 13 * p)
+    f = np.sort(rng.uniform(1e3, 1e9, size=k))
+    s = 0.4 * (rng.normal(size=(k, p, p)) + 1j * rng.normal(size=(k, p, p)))
+    return NetworkData(frequencies=f, samples=s, port_names=port_names)
+
+
+# ----------------------------------------------------------------------
+# Port-count inference (the suffix-less 2-port bug)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("ports", [1, 2, 3, 4])
+def test_suffixless_file_infers_correct_port_count(tmp_path, ports):
+    data = _random_network(ports)
+    path = tmp_path / f"x.s{ports}p"
+    write_touchstone(data, path)
+    # Copy to a name without a recognized .sNp suffix.
+    bare = tmp_path / "export.dat"
+    bare.write_text(path.read_text())
+    back, info = read_touchstone_with_info(bare)
+    assert back.n_ports == ports
+    assert info.ports_source == "inferred"
+    assert np.allclose(back.samples, data.samples, atol=1e-8)
+
+
+def test_suffixless_unsorted_one_port_not_misread_as_multiport(tmp_path):
+    # 3 unsorted 1-port points = 9 values, which also reshapes into one
+    # (trivially monotone) 2-port block; the single-block candidate must
+    # not outrank the multi-block plausible one.
+    path = tmp_path / "unsorted.dat"
+    path.write_text(
+        "# HZ S RI R 50\n"
+        "2e6 0.2 -0.1\n"
+        "1e6 0.1 -0.2\n"
+        "3e6 0.3 -0.3\n"
+    )
+    # The discarded single-block 2-port reading is still reported as an
+    # ambiguity -- only a suffix truly settles the layout.
+    with pytest.warns(UserWarning, match="ambiguous"):
+        data = read_touchstone(path)
+    assert data.n_ports == 1
+    assert data.n_frequencies == 3
+    assert np.allclose(data.samples[:, 0, 0].real, [0.1, 0.2, 0.3])
+
+
+def test_suffixless_single_frequency_multiport_warns(tmp_path):
+    # One 2-port block whose interleaved values are all non-negative also
+    # reshapes into three 1-port rows; whatever wins, the reader must not
+    # stay silent about the alternative.
+    path = tmp_path / "onepoint.dat"
+    path.write_text("# HZ S RI R 50\n1e6 0.7 0.001 0.28 0.002 0.28 0.002 0.71 0.001\n")
+    with pytest.warns(UserWarning, match="ambiguous"):
+        read_touchstone(path)
+
+
+def test_suffixless_single_frequency_file(tmp_path):
+    # A genuine one-point file: only the single-block candidate exists.
+    path = tmp_path / "point.dat"
+    path.write_text("# HZ S RI R 50\n1e6 0.25 -0.5\n")
+    data = read_touchstone(path)
+    assert data.n_ports == 1
+    assert data.samples[0, 0, 0] == pytest.approx(0.25 - 0.5j)
+
+
+def test_suffix_always_wins(tmp_path):
+    data = _random_network(2)
+    path = tmp_path / "x.s2p"
+    write_touchstone(data, path)
+    back, info = read_touchstone_with_info(path)
+    assert back.n_ports == 2
+    assert info.ports_source == "suffix"
+
+
+def test_suffix_mismatch_warns(tmp_path):
+    # 2-port data (9 values per block) mislabeled .s1p: every block count
+    # divides by 3, so the old smallest-divisor inference silently read
+    # such layouts as 1-port; a suffix is trusted but must warn when a
+    # different layout parses cleanly.
+    data = _random_network(2)
+    path = tmp_path / "x.s2p"
+    write_touchstone(data, path)
+    mislabeled = tmp_path / "y.s1p"
+    mislabeled.write_text(path.read_text())
+    # The suffix is trusted, so the interleaved "frequency" column then
+    # fails grid validation -- loudly, instead of a silent misread.
+    with pytest.warns(UserWarning, match="disagrees"):
+        with pytest.raises(ValueError):
+            read_touchstone(mislabeled)
+
+
+def test_inconsistent_suffix_raises(tmp_path):
+    data = _random_network(1, k=4)  # 12 values: no 2-port block fits
+    path = tmp_path / "x.s1p"
+    write_touchstone(data, path)
+    mislabeled = tmp_path / "y.s2p"
+    mislabeled.write_text(path.read_text())
+    with pytest.raises(ValueError, match="inconsistent"):
+        read_touchstone(mislabeled)
+
+
+# ----------------------------------------------------------------------
+# Grid repair: duplicates and unsorted points
+# ----------------------------------------------------------------------
+def test_duplicate_frequency_points_deduped_keep_first(tmp_path):
+    path = tmp_path / "x.s1p"
+    path.write_text(
+        "# HZ S RI R 50\n"
+        "1e6 0.1 0.0\n"
+        "2e6 0.2 0.0\n"
+        "2e6 0.9 0.0\n"  # duplicate seam point: first occurrence wins
+        "3e6 0.3 0.0\n"
+    )
+    with pytest.warns(UserWarning, match="duplicate"):
+        data, info = read_touchstone_with_info(path)
+    assert data.n_frequencies == 3
+    assert info.n_duplicates_dropped == 1
+    assert np.allclose(data.samples[:, 0, 0].real, [0.1, 0.2, 0.3])
+
+
+def test_near_coincident_points_deduped(tmp_path):
+    path = tmp_path / "x.s1p"
+    path.write_text(
+        "# HZ S RI R 50\n"
+        "1e9 0.1 0.0\n"
+        f"{1e9 * (1 + 1e-13)} 0.5 0.0\n"
+        "2e9 0.2 0.0\n"
+    )
+    with pytest.warns(UserWarning, match="duplicate"):
+        data = read_touchstone(path)
+    assert data.n_frequencies == 2
+    assert np.allclose(data.samples[:, 0, 0].real, [0.1, 0.2])
+
+
+def test_unsorted_grid_sorted_on_read(tmp_path):
+    path = tmp_path / "x.s1p"
+    path.write_text(
+        "# HZ S RI R 50\n"
+        "2e6 0.2 0.0\n"
+        "1e6 0.1 0.0\n"
+        "3e6 0.3 0.0\n"
+    )
+    data, info = read_touchstone_with_info(path)
+    assert not info.grid_was_sorted
+    assert np.all(np.diff(data.frequencies) > 0)
+    assert np.allclose(data.samples[:, 0, 0].real, [0.1, 0.2, 0.3])
+
+
+def test_stitched_two_band_export(tmp_path):
+    """Two concatenated bands sharing the seam frequency (common export)."""
+    rng = np.random.default_rng(3)
+    f_low = np.linspace(1e6, 1e8, 5)
+    f_high = np.linspace(1e8, 1e9, 5)  # seam 1e8 repeated
+    lines = ["# HZ S RI R 50"]
+    for f in np.concatenate([f_low, f_high]):
+        a, b = rng.normal(size=2)
+        lines.append(f"{f:.12g} {a:.6g} {b:.6g}")
+    path = tmp_path / "stitched.s1p"
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.warns(UserWarning, match="duplicate"):
+        data = read_touchstone(path)
+    assert data.n_frequencies == 9
+
+
+# ----------------------------------------------------------------------
+# Option-line edge cases
+# ----------------------------------------------------------------------
+def test_option_line_r_token_case_insensitive(tmp_path):
+    path = tmp_path / "x.s1p"
+    path.write_text("# hz s ri r 75\n1e6 0.1 0.0\n")
+    assert read_touchstone(path).z0 == 75.0
+
+
+def test_option_line_mixed_case_units_and_format(tmp_path):
+    path = tmp_path / "x.s1p"
+    path.write_text("# MHz S Ri R 50\n1 0.1 0.0\n")
+    data = read_touchstone(path)
+    assert data.frequencies[0] == 1e6
+
+
+def test_first_option_line_wins(tmp_path):
+    path = tmp_path / "x.s1p"
+    path.write_text(
+        "# HZ S RI R 50\n"
+        "# GHZ Z MA R 75\n"  # per spec, ignored
+        "1e6 0.1 0.0\n"
+    )
+    data = read_touchstone(path)
+    assert data.kind == "s"
+    assert data.z0 == 50.0
+    assert data.frequencies[0] == 1e6
+
+
+def test_option_line_defaults(tmp_path):
+    # No option line values: GHz, MA, S, 50 ohm are the v1 defaults.
+    path = tmp_path / "x.s1p"
+    path.write_text("#\n1 0.5 0\n")
+    data, info = read_touchstone_with_info(path)
+    assert data.frequencies[0] == 1e9
+    assert info.fmt == "ma"
+    assert data.samples[0, 0, 0] == pytest.approx(0.5)
+
+
+def test_inline_comments_after_data_values(tmp_path):
+    path = tmp_path / "x.s1p"
+    path.write_text(
+        "# HZ S RI R 50\n"
+        "1e6 0.1 0.0 ! first point\n"
+        "2e6 0.2 0.0 ! 1e9 99 99 this is not data\n"
+    )
+    data = read_touchstone(path)
+    assert data.n_frequencies == 2
+    assert np.allclose(data.samples[:, 0, 0].real, [0.1, 0.2])
+
+
+def test_unknown_option_token_raises(tmp_path):
+    path = tmp_path / "x.s1p"
+    path.write_text("# HZ S RI R 50 BOGUS\n1e6 0.1 0.0\n")
+    with pytest.raises(ValueError, match="unrecognized token"):
+        read_touchstone(path)
+
+
+# ----------------------------------------------------------------------
+# Metadata round-trips
+# ----------------------------------------------------------------------
+def test_port_names_roundtrip(tmp_path):
+    data = _random_network(3, port_names=("vdd_die", "vdd cap", "vrm"))
+    path = tmp_path / "named.s3p"
+    write_touchstone(data, path)
+    back = read_touchstone(path)
+    assert back.port_names == ("vdd_die", "vdd cap", "vrm")
+
+
+def test_free_text_comment_mentioning_port_is_not_a_port_name(tmp_path):
+    path = tmp_path / "x.s1p"
+    path.write_text(
+        "! reference at Port[1] = 50 ohm single-ended\n"
+        "# HZ S RI R 50\n"
+        "1e6 0.1 0.0\n"
+    )
+    assert read_touchstone(path).port_names == ()
+    # A dedicated '! Port[n] = name' line still counts.
+    path.write_text(
+        "! Port[1] = vdd\n"
+        "# HZ S RI R 50\n"
+        "1e6 0.1 0.0\n"
+    )
+    assert read_touchstone(path).port_names == ("vdd",)
+
+
+def test_format_and_unit_metadata_roundtrip(tmp_path):
+    data = _random_network(2)
+    path = tmp_path / "x.s2p"
+    write_touchstone(data, path, fmt="db", unit="ghz")
+    back, info = read_touchstone_with_info(path)
+    assert (info.fmt, info.unit) == ("db", "ghz")
+    # Re-writing in the reported convention reproduces the file.
+    second = tmp_path / "y.s2p"
+    write_touchstone(back, second, fmt=info.fmt, unit=info.unit)
+    third, info3 = read_touchstone_with_info(second)
+    assert (info3.fmt, info3.unit) == ("db", "ghz")
+    assert np.allclose(third.samples, back.samples, atol=1e-10)
+    assert np.allclose(third.frequencies, back.frequencies, rtol=1e-12)
