@@ -14,6 +14,10 @@ Public API tour
   perturbation norm (eqs. 18-21).
 * :mod:`repro.passivity` -- Hamiltonian passivity check and iterative
   enforcement (eqs. 8-10).
+* :mod:`repro.api` -- the composable pipeline engine: typed stages, the
+  content-addressed artifact store, the unified :class:`ReproConfig` and
+  the event-observer hooks.  Every execution surface (``run_flow``, the
+  CLI, the campaign executor) runs on it.
 * :mod:`repro.flow` -- the end-to-end pipeline (``MacromodelingFlow``).
 * :mod:`repro.campaign` -- parallel scenario-sweep orchestration with
   content-addressed caching and an on-disk result registry.
@@ -23,6 +27,13 @@ Public API tour
   macromodel.
 """
 
+from repro.api import (
+    ArtifactStore,
+    Pipeline,
+    PipelineObserver,
+    ReproConfig,
+    standard_pipeline,
+)
 from repro.campaign import (
     CampaignSpec,
     FlowCache,
@@ -66,6 +77,11 @@ from repro.vectfit.options import VFOptions
 __version__ = "0.1.0"
 
 __all__ = [
+    "ArtifactStore",
+    "Pipeline",
+    "PipelineObserver",
+    "ReproConfig",
+    "standard_pipeline",
     "CampaignSpec",
     "FlowCache",
     "ScenarioSpec",

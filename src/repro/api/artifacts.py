@@ -1,0 +1,298 @@
+"""Typed artifacts, content digests, and the content-addressed store.
+
+Every value flowing between pipeline stages is an *artifact*: a named,
+typed object (:class:`ArtifactSpec` declares the name and expected type).
+This module provides the two capabilities the pipeline engine needs on
+top of that:
+
+* **Digesting** -- :func:`artifact_digest` maps any supported artifact to
+  a stable SHA-256 over its canonical encoded form, so stage cache keys
+  can be derived from *content* (the same scattering data always produces
+  the same standard-fit key, whatever scenario or file name delivered it).
+* **Persistence** -- :class:`ArtifactStore` is a content-addressed
+  key-value store of stage outputs (in-memory, optionally mirrored to a
+  directory), generalizing the campaign flow cache down to individual
+  stage results: any stage becomes individually cacheable and resumable,
+  and cross-scenario sharing (e.g. one standard fit serving a whole
+  termination sweep) is a store hit instead of bespoke executor plumbing.
+
+Encoding is exact: numpy arrays are serialized as raw little-endian bytes
+(base64), so a decoded artifact is *byte-identical* to what was stored --
+a resumed pipeline continues from exactly the numbers the interrupted run
+produced.  Dataclass artifacts (fit results, passivity reports,
+enforcement outcomes, ...) are encoded field-by-field through a type
+registry; terminations go through the canonical
+:func:`repro.pdn.spec.termination_to_dict` codec so the store can never
+disagree with the flow-cache fingerprint about what a termination *is*.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.flow.metrics import ModelAccuracyRow
+from repro.ingest.conditioning import IngestAction, IngestReport
+from repro.passivity.check import PassivityReport, ViolationBand
+from repro.passivity.enforce import EnforcementResult, IterationRecord
+from repro.pdn.spec import termination_from_dict, termination_to_dict
+from repro.pdn.termination import TerminationNetwork
+from repro.sensitivity.weightmodel import SensitivityWeight
+from repro.sparams.network import NetworkData
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.statespace.system import StateSpaceModel
+from repro.vectfit.core import VFResult
+from repro.vectfit.magnitude import MagnitudeFitResult
+
+_TAG = "__repro_artifact__"
+_STORE_FORMAT = "repro.artifact-store/1"
+
+#: Dataclasses encoded field-by-field; the name is the wire tag, so it is
+#: part of the persisted format -- extend, don't rename.
+_DATACLASS_REGISTRY: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        NetworkData,
+        StateSpaceModel,
+        VFResult,
+        MagnitudeFitResult,
+        SensitivityWeight,
+        PassivityReport,
+        ViolationBand,
+        EnforcementResult,
+        IterationRecord,
+        IngestReport,
+        IngestAction,
+        ModelAccuracyRow,
+    )
+}
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """Declared name and type of one stage input/output."""
+
+    name: str
+    type: type | tuple[type, ...] | None = None
+    description: str = ""
+
+    def check(self, value) -> None:
+        """Raise ``TypeError`` when ``value`` does not match the spec."""
+        if self.type is not None and not isinstance(value, self.type):
+            expected = (
+                self.type.__name__
+                if isinstance(self.type, type)
+                else "/".join(t.__name__ for t in self.type)
+            )
+            raise TypeError(
+                f"artifact {self.name!r} must be {expected}, got "
+                f"{type(value).__name__}"
+            )
+
+
+def encode_artifact(value):
+    """JSON-compatible tagged encoding of one artifact value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (complex, np.complexfloating)):
+        return {_TAG: "complex", "re": float(value.real), "im": float(value.imag)}
+    if isinstance(value, np.ndarray):
+        data = np.ascontiguousarray(value)
+        return {
+            _TAG: "ndarray",
+            "dtype": data.dtype.str,
+            "shape": list(data.shape),
+            "data": base64.b64encode(data.tobytes()).decode("ascii"),
+        }
+    if isinstance(value, TerminationNetwork):
+        return {_TAG: "termination", "spec": termination_to_dict(value)}
+    if isinstance(value, PoleResidueModel):
+        # Plain class (not a dataclass): encode its defining arrays.
+        return {
+            _TAG: "pole_residue",
+            "poles": encode_artifact(value.poles),
+            "residues": encode_artifact(value.residues),
+            "const": encode_artifact(value.const),
+        }
+    if is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in _DATACLASS_REGISTRY:
+            raise TypeError(f"no artifact codec for dataclass {name}")
+        return {
+            _TAG: "dataclass",
+            "type": name,
+            "fields": {
+                spec.name: encode_artifact(getattr(value, spec.name))
+                for spec in fields(value)
+            },
+        }
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "items": [encode_artifact(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_artifact(v) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError("artifact dict keys must be strings")
+            out[key] = encode_artifact(item)
+        return out
+    raise TypeError(f"no artifact codec for {type(value).__name__}")
+
+
+def decode_artifact(payload):
+    """Inverse of :func:`encode_artifact` (byte-identical arrays)."""
+    if isinstance(payload, list):
+        return [decode_artifact(v) for v in payload]
+    if not isinstance(payload, dict):
+        return payload
+    tag = payload.get(_TAG)
+    if tag is None:
+        return {k: decode_artifact(v) for k, v in payload.items()}
+    if tag == "complex":
+        return complex(payload["re"], payload["im"])
+    if tag == "ndarray":
+        raw = base64.b64decode(payload["data"])
+        array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+        return array.reshape(payload["shape"]).copy()
+    if tag == "tuple":
+        return tuple(decode_artifact(v) for v in payload["items"])
+    if tag == "termination":
+        return termination_from_dict(payload["spec"])
+    if tag == "pole_residue":
+        return PoleResidueModel(
+            decode_artifact(payload["poles"]),
+            decode_artifact(payload["residues"]),
+            decode_artifact(payload["const"]),
+        )
+    if tag == "dataclass":
+        cls = _DATACLASS_REGISTRY.get(payload["type"])
+        if cls is None:
+            raise ValueError(f"unknown artifact dataclass {payload['type']!r}")
+        kwargs = {
+            key: decode_artifact(value)
+            for key, value in payload["fields"].items()
+        }
+        return cls(**kwargs)
+    raise ValueError(f"unknown artifact tag {tag!r}")
+
+
+def artifact_digest(value) -> str:
+    """Stable SHA-256 hex digest of one artifact's content."""
+    canonical = json.dumps(
+        encode_artifact(value), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ArtifactStore:
+    """Content-addressed store of stage outputs.
+
+    Entries map a stage result key (see
+    :meth:`repro.api.stages.PipelineStage.result_key`) to the dict of
+    output artifacts that stage produced.  Lookups consult a process-local
+    memory layer first (so repeated pipelines in one process share decoded
+    objects for free); when ``root`` is given, entries are mirrored to
+    disk with atomic writes (temp file + rename), making results durable
+    across processes and sessions -- the resume story.
+
+    The on-disk layout mirrors :class:`repro.campaign.cache.FlowCache`
+    (two-level fan-out of JSON files), and a corrupt entry behaves like a
+    miss, never an error.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, dict] = {}
+
+    def path(self, key: str) -> Path | None:
+        """On-disk location of one entry (``None`` for memory-only stores)."""
+        if self.root is None:
+            return None
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Decoded output dict of one entry; ``None`` on miss."""
+        hit = self._memory.get(key)
+        if hit is not None:
+            return dict(hit)
+        path = self.path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("format") != _STORE_FORMAT:
+                return None
+            values = {
+                name: decode_artifact(encoded)
+                for name, encoded in payload["values"].items()
+            }
+        except (KeyError, ValueError, TypeError, OSError):
+            return None
+        self._memory[key] = values
+        return dict(values)
+
+    def put(self, key: str, values: dict) -> None:
+        """Store one entry (memory always; disk atomically when enabled)."""
+        self._memory[key] = dict(values)
+        path = self.path(key)
+        if path is None:
+            return
+        payload = {
+            "format": _STORE_FORMAT,
+            "key": key,
+            "values": {
+                name: encode_artifact(value) for name, value in values.items()
+            },
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        path = self.path(key)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        keys = set(self._memory)
+        if self.root is not None:
+            keys.update(p.stem for p in self.root.glob("*/*.json"))
+        return len(keys)
+
+    def clear(self) -> int:
+        """Drop all entries; returns how many were removed."""
+        keys = set(self._memory)
+        self._memory.clear()
+        if self.root is not None:
+            for path in self.root.glob("*/*.json"):
+                keys.add(path.stem)
+                path.unlink()
+        return len(keys)

@@ -1,0 +1,400 @@
+"""The pipeline runner: typed stage graph, store-backed execution, events.
+
+A :class:`Pipeline` is an ordered list of
+:class:`~repro.api.stages.PipelineStage` objects validated as a graph:
+every artifact has exactly one producer, and every stage's inputs must be
+satisfied by an earlier stage or by the run's *seed* artifacts.  Running
+a pipeline walks the stages in order; for each stage it either
+
+* **seeds** -- all declared outputs were provided by the caller (e.g. a
+  precomputed standard fit shipped by the campaign dispatcher), so the
+  stage is skipped;
+* **loads** -- a content-addressed :class:`~repro.api.artifacts.
+  ArtifactStore` already holds the stage's outputs under its
+  :meth:`~repro.api.stages.PipelineStage.result_key` (resume, or another
+  scenario already did this work);
+* **computes** -- runs the stage and stores the outputs.
+
+Every decision is recorded as a :class:`StageExecution` (status, wall
+time, store key), which is the provenance surfaced in ``FlowResult``
+summaries and campaign records.  Observers receive
+``on_stage_start``/``on_stage_finish`` callbacks -- the structured
+replacement for ad-hoc ``--profile`` plumbing.
+
+Pipelines are immutable and composable: :meth:`Pipeline.with_stage`
+inserts a custom stage relative to an existing one and
+:meth:`Pipeline.replace_stage` swaps an implementation (e.g. an
+alternative weighting law), each returning a new validated pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.api.artifacts import ArtifactStore
+from repro.api.config import ReproConfig
+from repro.api.stages import PipelineStage, standard_stages
+from repro.util.logging import get_logger
+
+_LOG = get_logger(__name__)
+
+#: StageExecution.status values, in the order a stage tries them.
+STATUS_SEEDED = "seeded"
+STATUS_CACHED = "cached"
+STATUS_COMPUTED = "computed"
+
+
+@dataclass(frozen=True)
+class StageExecution:
+    """Provenance of one stage in one pipeline run."""
+
+    stage: str
+    status: str
+    seconds: float
+    key: str | None = None
+    outputs: tuple[str, ...] = ()
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when no computation happened (seeded or store-served)."""
+        return self.status != STATUS_COMPUTED
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (flow summaries, campaign records)."""
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "seconds": self.seconds,
+            "cache_hit": self.cache_hit,
+            "key": self.key,
+            "outputs": list(self.outputs),
+        }
+
+
+class PipelineObserver:
+    """Event hook base class; override any subset of the callbacks."""
+
+    def on_stage_start(self, stage: PipelineStage) -> None:
+        """Called immediately before a stage is resolved (any status)."""
+
+    def on_stage_finish(
+        self, stage: PipelineStage, execution: StageExecution
+    ) -> None:
+        """Called after a stage resolved, with its provenance record."""
+
+
+class TimingObserver(PipelineObserver):
+    """Collects per-stage provenance; handy for tests and embedding."""
+
+    def __init__(self) -> None:
+        self.executions: list[StageExecution] = []
+
+    def on_stage_finish(
+        self, stage: PipelineStage, execution: StageExecution
+    ) -> None:
+        self.executions.append(execution)
+
+    def seconds(self) -> dict[str, float]:
+        return {e.stage: e.seconds for e in self.executions}
+
+
+class ConsoleObserver(PipelineObserver):
+    """Prints stage progress and timings (the CLI ``--profile`` surface)."""
+
+    def __init__(self, stream=None) -> None:
+        import sys
+
+        self.stream = stream if stream is not None else sys.stdout
+
+    def on_stage_start(self, stage: PipelineStage) -> None:
+        print(f"stage {stage.name}: running ...", file=self.stream)
+
+    def on_stage_finish(
+        self, stage: PipelineStage, execution: StageExecution
+    ) -> None:
+        print(
+            f"stage {execution.stage}: {execution.status} "
+            f"in {execution.seconds:.3f}s",
+            file=self.stream,
+        )
+
+
+@dataclass(frozen=True)
+class PipelineRun:
+    """Everything one :meth:`Pipeline.run` produced."""
+
+    artifacts: dict = field(repr=False)
+    executions: tuple[StageExecution, ...] = ()
+
+    def __getitem__(self, name: str):
+        return self.artifacts[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.artifacts
+
+    def timings(self) -> dict[str, float]:
+        """Wall seconds per stage (zero for seeded/loaded stages)."""
+        return {e.stage: e.seconds for e in self.executions}
+
+    def provenance(self) -> list[dict]:
+        """JSON-compatible per-stage execution records."""
+        return [e.to_dict() for e in self.executions]
+
+
+class Pipeline:
+    """Immutable, validated sequence of stages executable as one flow."""
+
+    def __init__(
+        self,
+        stages: Sequence[PipelineStage],
+        *,
+        store: ArtifactStore | None = None,
+        store_stages: Iterable[str] | None = None,
+        observers: Iterable[PipelineObserver] = (),
+    ) -> None:
+        """``store_stages`` restricts which stages use the store (both
+        lookup and write); ``None`` means every cacheable stage.  Callers
+        that already have a coarser result cache (the campaign executor's
+        flow cache) use it to persist only the stages whose sharing they
+        exploit, instead of double-writing every heavy artifact."""
+        self.stages: tuple[PipelineStage, ...] = tuple(stages)
+        self.store = store
+        self.store_stages: frozenset[str] | None = (
+            None if store_stages is None else frozenset(store_stages)
+        )
+        self.observers: tuple[PipelineObserver, ...] = tuple(observers)
+        self._validate_graph()
+
+    # ------------------------------------------------------------------
+    # Graph validation and composition
+    # ------------------------------------------------------------------
+    def _validate_graph(self) -> None:
+        if not self.stages:
+            raise ValueError("pipeline needs at least one stage")
+        producer: dict[str, str] = {}
+        names: set[str] = set()
+        for stage in self.stages:
+            if stage.name in names:
+                raise ValueError(f"duplicate stage name {stage.name!r}")
+            names.add(stage.name)
+            for spec in stage.outputs:
+                if spec.name in producer:
+                    raise ValueError(
+                        f"artifact {spec.name!r} produced by both "
+                        f"{producer[spec.name]!r} and {stage.name!r}"
+                    )
+                producer[spec.name] = stage.name
+
+    def describe(self) -> str:
+        """Human-readable stage graph (name, inputs -> outputs)."""
+        lines = []
+        for stage in self.stages:
+            ins = ", ".join(s.name for s in stage.inputs) or "-"
+            outs = ", ".join(s.name for s in stage.outputs)
+            lines.append(f"{stage.name}: {ins} -> {outs}")
+        return "\n".join(lines)
+
+    def _index_of(self, name: str) -> int:
+        for index, stage in enumerate(self.stages):
+            if stage.name == name:
+                return index
+        raise ValueError(f"pipeline has no stage named {name!r}")
+
+    def with_stage(
+        self,
+        stage: PipelineStage,
+        *,
+        after: str | None = None,
+        before: str | None = None,
+        store: ArtifactStore | None = None,
+        observers: Iterable[PipelineObserver] | None = None,
+    ) -> "Pipeline":
+        """A new pipeline with ``stage`` inserted relative to an existing one.
+
+        Exactly one of ``after``/``before`` selects the anchor; omitting
+        both appends.  ``store``/``observers`` default to this pipeline's.
+        """
+        if after is not None and before is not None:
+            raise ValueError("pass only one of 'after' and 'before'")
+        stages = list(self.stages)
+        if after is not None:
+            stages.insert(self._index_of(after) + 1, stage)
+        elif before is not None:
+            stages.insert(self._index_of(before), stage)
+        else:
+            stages.append(stage)
+        return Pipeline(
+            stages,
+            store=self.store if store is None else store,
+            store_stages=self.store_stages,
+            observers=self.observers if observers is None else observers,
+        )
+
+    def replace_stage(
+        self, name: str, stage: PipelineStage
+    ) -> "Pipeline":
+        """A new pipeline with the named stage swapped for ``stage``."""
+        stages = list(self.stages)
+        stages[self._index_of(name)] = stage
+        return Pipeline(
+            stages, store=self.store, store_stages=self.store_stages,
+            observers=self.observers,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        config: ReproConfig | None = None,
+        seed: dict | None = None,
+        *,
+        stop_after: str | None = None,
+    ) -> PipelineRun:
+        """Execute the stages; see the module docstring for semantics.
+
+        Parameters
+        ----------
+        config:
+            Unified configuration (or ``None`` for defaults; a legacy
+            ``FlowOptions`` is upgraded via :meth:`ReproConfig.coerce`).
+        seed:
+            Pre-existing artifacts by name.  A stage whose *every* output
+            is seeded is skipped; seeding only part of a stage's outputs
+            is an error (the stage would recompute and shadow the seed).
+        stop_after:
+            Stop once the named stage resolved -- partial runs for
+            prewarming or debugging; downstream artifacts stay absent.
+        """
+        config = ReproConfig.coerce(config)
+        if stop_after is not None:
+            self._index_of(stop_after)  # fail fast on typos
+        state: dict = dict(seed or {})
+        executions: list[StageExecution] = []
+
+        for stage in self.stages:
+            out_names = [spec.name for spec in stage.outputs]
+            seeded = [name for name in out_names if name in state]
+            for observer in self.observers:
+                observer.on_stage_start(stage)
+            started = time.perf_counter()
+            if seeded and len(seeded) == len(out_names):
+                execution = StageExecution(
+                    stage=stage.name, status=STATUS_SEEDED, seconds=0.0,
+                    outputs=tuple(out_names),
+                )
+            elif seeded:
+                raise ValueError(
+                    f"stage {stage.name!r}: outputs {sorted(seeded)} are "
+                    "seeded but "
+                    f"{sorted(set(out_names) - set(seeded))} are not; "
+                    "seed all of a stage's outputs or none"
+                )
+            else:
+                missing = [
+                    spec.name for spec in stage.inputs
+                    if spec.name not in state
+                ]
+                if missing:
+                    raise ValueError(
+                        f"stage {stage.name!r} requires artifacts "
+                        f"{sorted(missing)} which no earlier stage or seed "
+                        "provides"
+                    )
+                inputs = {spec.name: state[spec.name] for spec in stage.inputs}
+                for spec in stage.inputs:
+                    spec.check(inputs[spec.name])
+                execution, values = self._resolve(stage, config, inputs, started)
+                state.update(values)
+            executions.append(execution)
+            for observer in self.observers:
+                observer.on_stage_finish(stage, execution)
+            if stage.name == stop_after:
+                break
+
+        return PipelineRun(artifacts=state, executions=tuple(executions))
+
+    def _resolve(
+        self,
+        stage: PipelineStage,
+        config: ReproConfig,
+        inputs: dict,
+        started: float,
+    ) -> tuple[StageExecution, dict]:
+        """Load the stage's outputs from the store or compute (and store)."""
+        out_names = [spec.name for spec in stage.outputs]
+        key: str | None = None
+        values: dict | None = None
+        status = STATUS_COMPUTED
+        store_this = (
+            self.store is not None
+            and stage.cacheable
+            and (self.store_stages is None or stage.name in self.store_stages)
+        )
+        if store_this:
+            key = stage.result_key(config, inputs)
+            hit = self.store.get(key)
+            if hit is not None and set(hit) >= set(out_names):
+                values = {name: hit[name] for name in out_names}
+                status = STATUS_CACHED
+        if values is None:
+            values = stage.run(config, inputs)
+            missing = sorted(set(out_names) - set(values))
+            if missing:
+                raise ValueError(
+                    f"stage {stage.name!r} did not produce declared "
+                    f"outputs {missing}"
+                )
+            for spec in stage.outputs:
+                spec.check(values[spec.name])
+            if store_this and key is not None:
+                self.store.put(key, {name: values[name] for name in out_names})
+        values = {name: values[name] for name in out_names}
+        seconds = time.perf_counter() - started
+        if status == STATUS_CACHED:
+            _LOG.info("stage %s: store hit (%s)", stage.name, key[:12])
+        execution = StageExecution(
+            stage=stage.name, status=status, seconds=seconds,
+            key=key, outputs=tuple(out_names),
+        )
+        return execution, values
+
+
+def standard_pipeline(
+    *,
+    store: ArtifactStore | None = None,
+    store_stages: Iterable[str] | None = None,
+    observers: Iterable[PipelineObserver] = (),
+) -> Pipeline:
+    """The paper's five-step flow over in-memory data.
+
+    Seed ``network``/``termination``/``observe_port`` (and optionally a
+    precomputed ``standard_fit``) when running it; use
+    :func:`file_pipeline` to start from a Touchstone file instead.
+    """
+    return Pipeline(
+        standard_stages(), store=store, store_stages=store_stages,
+        observers=observers,
+    )
+
+
+def file_pipeline(
+    source,
+    termination: str | None = None,
+    observe_port: int = 0,
+    *,
+    store: ArtifactStore | None = None,
+    store_stages: Iterable[str] | None = None,
+    observers: Iterable[PipelineObserver] = (),
+) -> Pipeline:
+    """Ingest stage + the standard flow: Touchstone file to passive model."""
+    from repro.api.stages import IngestStage
+
+    return Pipeline(
+        (IngestStage(source, termination, observe_port), *standard_stages()),
+        store=store,
+        store_stages=store_stages,
+        observers=observers,
+    )

@@ -22,9 +22,14 @@ Two batch-level optimizations live in :func:`run_campaign`:
 * **Shared standard fits** -- scenarios of a sweep that differ only in
   termination knobs reuse the same scattering data, so their (expensive,
   weight-independent) standard vector fits are identical.  The dispatcher
-  groups pending scenarios by standard-fit fingerprint, computes one fit
-  per group through :func:`repro.vectfit.core.fit_many`, and ships the
-  result to the workers.
+  groups pending scenarios by standard-fit fingerprint and computes one
+  fit per group through :func:`repro.vectfit.core.fit_many`.  Delivery is
+  store-level: with caching enabled the fits are written into the
+  campaign's content-addressed :class:`~repro.api.artifacts.ArtifactStore`
+  under :class:`~repro.api.stages.StandardFitStage`'s own content key, and
+  every worker's pipeline picks them up as ordinary stage cache hits (the
+  same mechanism that makes re-runs resume stage by stage).  Without a
+  cache directory the fits are shipped to workers by value, as before.
 """
 
 from __future__ import annotations
@@ -34,12 +39,16 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro.api.artifacts import ArtifactStore
+from repro.api.config import ReproConfig
+from repro.api.stages import StandardFitStage
 from repro.campaign.cache import FlowCache, flow_fingerprint
 from repro.campaign.registry import CampaignRegistry
 from repro.campaign.scenario import CampaignSpec, ScenarioSpec
 from repro.flow.macromodel import run_flow
-from repro.flow.metrics import flow_accuracy_rows
+from repro.flow.metrics import accuracy_table
 from repro.statespace.poleresidue import PoleResidueModel
 from repro.util.logging import enable_console_logging, get_logger
 from repro.vectfit.core import VFResult, fit_many
@@ -128,70 +137,41 @@ def default_blas_threads(jobs: int) -> int:
     """Per-worker thread budget: share the machine's cores evenly."""
     return max(1, (os.cpu_count() or 1) // max(jobs, 1))
 
-_HEADLINE_ROWS = {
-    "passive, standard cost": "standard_cost",
-    "passive, weighted cost": "weighted_cost",
-}
-
-
 def default_jobs() -> int:
     """Default worker count: the machine's cores, capped at 8."""
     return max(1, min(os.cpu_count() or 1, 8))
 
 
-def _accuracy_table(rows) -> list[dict]:
-    return [
-        {
-            "label": row.label,
-            "rms_scattering": row.rms_scattering,
-            "max_scattering": row.max_scattering,
-            "max_rel_impedance": row.max_rel_impedance,
-            "low_band_rel_impedance": row.low_band_rel_impedance,
-            "is_passive": row.is_passive,
-        }
-        for row in rows
-    ]
+def _stage_store_dir(cache_dir: str | None) -> str | None:
+    """Per-stage artifact store location implied by a flow-cache directory.
 
-
-def _headline_metrics(table: list[dict], result) -> dict:
-    metrics: dict = {}
-    for row in table:
-        suffix = _HEADLINE_ROWS.get(row["label"])
-        if suffix is None:
-            continue
-        metrics[f"max_rel_impedance_{suffix}"] = row["max_rel_impedance"]
-        metrics[f"low_band_rel_impedance_{suffix}"] = (
-            row["low_band_rel_impedance"]
-        )
-        metrics[f"passive_{suffix}"] = row["is_passive"]
-    metrics["rms_scattering_weighted_fit"] = float(
-        result.weighted_fit.rms_error
-    )
-    metrics["worst_sigma_before_enforcement"] = float(
-        result.pre_enforcement_report.worst_sigma
-    )
-    metrics["enforcement_iterations_weighted_cost"] = int(
-        result.weighted_enforced.iterations
-    )
-    metrics["enforcement_converged_weighted_cost"] = bool(
-        result.weighted_enforced.converged
-    )
-    return metrics
+    Lives inside the cache directory (``<cache>/stages``) so ``--no-cache``
+    disables both layers together and cache cleanup removes both.  The
+    extra directory level keeps the two stores' fan-out globs disjoint.
+    """
+    if cache_dir is None:
+        return None
+    return str(Path(cache_dir) / "stages")
 
 
 def execute_scenario(
     scenario: ScenarioSpec,
     cache_dir: str | None = None,
     standard_fit: VFResult | None = None,
+    stage_store: str | None = None,
 ) -> tuple[dict, PoleResidueModel | None]:
     """Run one scenario end-to-end; never raises.
 
     ``standard_fit`` optionally injects the scenario's precomputed
     standard vector fit (shared across scenarios reusing the same
     scattering data); a fit whose order does not match the scenario's
-    options is ignored rather than trusted.  Returns ``(record, model)``
-    where ``record`` is JSON-compatible and ``model`` is the passive
-    weighted-cost macromodel (``None`` when the scenario failed).
+    options is ignored rather than trusted.  ``stage_store`` optionally
+    points the flow pipeline at a content-addressed per-stage artifact
+    store, so individual stage results (the standard fit in particular)
+    are reused across scenarios and campaign re-runs.  Returns
+    ``(record, model)`` where ``record`` is JSON-compatible and ``model``
+    is the passive weighted-cost macromodel (``None`` when the scenario
+    failed).
     """
     started = time.perf_counter()
     record: dict = {
@@ -251,21 +231,31 @@ def execute_scenario(
                 return record, cached.model
 
         flow_start = time.perf_counter()
+        # The flow cache above already makes whole runs resumable, so the
+        # per-stage store is restricted to the one stage whose sharing
+        # the campaign exploits: persisting every heavy enforcement
+        # artifact per scenario would roughly double a cold campaign's
+        # wall time for no additional reuse.
         result = run_flow(testcase.data, testcase.termination,
-                          observe_port, options, standard_fit=standard_fit)
+                          observe_port, options, standard_fit=standard_fit,
+                          store=stage_store,
+                          store_stages=("standard_fit",))
         flow_s = time.perf_counter() - flow_start
-        rows = flow_accuracy_rows(
-            result, testcase.data, testcase.termination, observe_port
+        table = accuracy_table(list(result.accuracy_rows))
+        record["environment"]["shared_standard_fit"] = any(
+            stage["stage"] == "standard_fit" and stage["cache_hit"]
+            for stage in result.stage_provenance
         )
-        table = _accuracy_table(rows)
         record.update(
             status="ok",
-            metrics=_headline_metrics(table, result),
+            metrics=dict(result.headline_metrics),
             accuracy_table=table,
             timings={
                 "testcase_s": build_s,
                 "flow_s": flow_s,
                 "total_s": time.perf_counter() - started,
+                "stages": [dict(stage) for stage in result.stage_provenance],
+                "stage_seconds": result.stage_timings(),
                 "enforcement_profile": {
                     "standard_cost": result.standard_enforced.profile(),
                     "weighted_cost": result.weighted_enforced.profile(),
@@ -461,6 +451,7 @@ def _group_fully_cached(base, members: list[ScenarioSpec], cache) -> bool:
 def _shared_standard_fits(
     scenarios: list[ScenarioSpec],
     cache: FlowCache | None = None,
+    store: ArtifactStore | None = None,
 ) -> dict[tuple, VFResult]:
     """One standard fit per group of scenarios sharing scattering data.
 
@@ -475,6 +466,11 @@ def _shared_standard_fits(
     assembly across them.  A group whose base cannot be built (e.g. a
     missing data file) is skipped here so the failure stays isolated to
     its own scenarios.
+
+    ``store`` additionally publishes each prefit into the per-stage
+    artifact store under :class:`~repro.api.stages.StandardFitStage`'s
+    content key, so worker pipelines consume them as ordinary stage
+    cache hits instead of pickled arguments.
     """
     members_of: dict[tuple, list[ScenarioSpec]] = {}
     for scenario in scenarios:
@@ -526,6 +522,21 @@ def _shared_standard_fits(
             "shared standard fits: %d group(s) at order %d "
             "(%d points, kernel=%s)",
             len(keys), n_poles, datasets[0].n_frequencies, vf_kernel,
+        )
+
+    if store is not None and prefits:
+        stage = StandardFitStage()
+        for key, fit in prefits.items():
+            config = ReproConfig.from_flow_options(
+                members_of[key][0].flow_options()
+            )
+            stage_key = stage.result_key(
+                config, {"network": bases[key].data}
+            )
+            store.put(stage_key, {"standard_fit": fit})
+        _LOG.info(
+            "shared standard fits: %d published to the stage store",
+            len(prefits),
         )
     return prefits
 
@@ -637,11 +648,14 @@ def run_campaign(
             " (cache hit)" if record.get("cache_hit") else "",
         )
 
+    stage_store = _stage_store_dir(cache_dir)
     prefits: dict[tuple, VFResult] = {}
     if share_fits and len(todo) > 1:
         prefit_start = time.perf_counter()
         prefits = _shared_standard_fits(
-            todo, FlowCache(cache_dir) if cache_dir else None
+            todo,
+            FlowCache(cache_dir) if cache_dir else None,
+            store=ArtifactStore(stage_store) if stage_store else None,
         )
         if prefits:
             _LOG.info(
@@ -651,11 +665,17 @@ def run_campaign(
             )
 
     def _prefit(scenario: ScenarioSpec) -> VFResult | None:
+        # Store-published prefits reach workers as stage cache hits; only
+        # store-less campaigns ship the fit object by value.
+        if stage_store is not None:
+            return None
         return prefits.get(_standard_fit_key(scenario))
 
     if jobs <= 1 or len(todo) <= 1:
         for scenario in todo:
-            _finish(*execute_scenario(scenario, cache_dir, _prefit(scenario)))
+            _finish(*execute_scenario(
+                scenario, cache_dir, _prefit(scenario), stage_store
+            ))
     else:
         max_workers = min(jobs, len(todo))
         worker_blas = (
@@ -669,7 +689,8 @@ def run_campaign(
         ) as pool:
             pending = {
                 pool.submit(
-                    execute_scenario, scenario, cache_dir, _prefit(scenario)
+                    execute_scenario, scenario, cache_dir,
+                    _prefit(scenario), stage_store,
                 ): scenario
                 for scenario in todo
             }

@@ -17,13 +17,20 @@ Four subcommands cover the practical workflow:
 ``flow``
     The full paper pipeline on a Touchstone file + termination spec
     (JSON file or compact inline spec): sensitivity, weighted fit, both
-    passivity enforcements, accuracy report, passive model JSON, and CSV
-    series for plotting.
+    passivity enforcements, accuracy report, passive model JSON, CSV
+    series for plotting, and a ``flow_summary.json`` with per-stage wall
+    times and cache provenance.
 
 ``campaign``
     Batch engine: expand a campaign spec (JSON) into a scenario grid, run
     the flow on every scenario in parallel with content-addressed caching,
     and write a result registry plus summary report.
+
+Every subcommand executes through the composable pipeline engine of
+:mod:`repro.api`; the ingest/termination flags are registered once on
+shared parent parsers, so ``fit``, ``flow`` and ``campaign`` can never
+drift apart on a flag name or default (``campaign`` applies them as
+overrides to its external-data scenarios).
 
 Global ``--verbose``/``--quiet`` flags control the package-wide structured
 logging (workers included); primary results still go to stdout.
@@ -49,8 +56,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.flow.macromodel import FlowOptions, MacromodelingFlow
-from repro.flow.metrics import flow_accuracy_rows, impedance_error_report
+from repro.api import (
+    ConsoleObserver,
+    Pipeline,
+    ReproConfig,
+    StandardFitStage,
+    ValidationOptions,
+)
+from repro.flow.macromodel import FlowOptions, run_flow
+from repro.flow.metrics import impedance_error_report
 from repro.ingest import ConditioningOptions, build_termination, load_network
 from repro.passivity.check import check_passivity
 from repro.passivity.enforce import EnforcementOptions, EnforcementResult
@@ -60,7 +74,6 @@ from repro.sensitivity.zpdn import target_impedance_of_model
 from repro.sparams.touchstone import write_touchstone
 from repro.statespace.serialization import save_model
 from repro.util.logging import enable_console_logging
-from repro.vectfit.core import vector_fit
 from repro.vectfit.options import VFOptions
 
 
@@ -86,7 +99,7 @@ def _conditioning_options(args: argparse.Namespace) -> ConditioningOptions:
         f_min=args.f_min,
         f_max=args.f_max,
         max_points=args.max_points,
-        symmetrize=args.symmetrize,
+        symmetrize=args.symmetrize if args.symmetrize is not None else "auto",
     )
 
 
@@ -94,8 +107,8 @@ def _flow_options(args: argparse.Namespace) -> FlowOptions:
     """Flow configuration from CLI flags.
 
     Both the ``fit`` and ``flow`` subcommands register the full flag set
-    through :func:`_add_flow_flags`, so argparse owns every default
-    exactly once.
+    through :func:`_flow_parent`, so argparse owns every default exactly
+    once.
     """
     return FlowOptions(
         vf=VFOptions(
@@ -113,10 +126,32 @@ def _flow_options(args: argparse.Namespace) -> FlowOptions:
     )
 
 
+def _repro_config(args: argparse.Namespace) -> ReproConfig:
+    """The unified pipeline configuration described by the parsed flags."""
+    return ReproConfig(
+        flow=_flow_options(args),
+        ingest=_conditioning_options(args),
+        validation=ValidationOptions(low_band_hz=args.low_band_hz),
+    )
+
+
+def _observers(args: argparse.Namespace) -> list:
+    """Pipeline event observers implied by the flags (``--profile``)."""
+    return [ConsoleObserver()] if getattr(args, "profile", False) else []
+
+
+def _observe_port(args: argparse.Namespace) -> int:
+    """Shared --observe-port flag with the fit/flow default of port 0."""
+    return args.observe_port if args.observe_port is not None else 0
+
+
 def _run_flow_outputs(args: argparse.Namespace, data, termination, out: Path) -> int:
     """Run the full pipeline and write the flow artifact set to ``out``."""
-    flow = MacromodelingFlow(_flow_options(args))
-    result = flow.run(data, termination, args.observe_port)
+    observe_port = _observe_port(args)
+    result = run_flow(
+        data, termination, observe_port, _repro_config(args),
+        observers=_observers(args),
+    )
 
     if args.profile:
         print(_enforcement_profile("standard cost", result.standard_enforced))
@@ -124,16 +159,15 @@ def _run_flow_outputs(args: argparse.Namespace, data, termination, out: Path) ->
 
     save_model(result.weighted_enforced.model, out / "passive_model.json")
     omega = data.omega
-    rows = flow_accuracy_rows(
-        result, data, termination, args.observe_port,
-        low_band_hz=args.low_band_hz,
-    )
-    report = impedance_error_report(rows)
+    report = impedance_error_report(list(result.accuracy_rows))
     (out / "flow_report.txt").write_text(report + "\n", encoding="utf-8")
     print(report)
+    (out / "flow_summary.json").write_text(
+        json.dumps(result.summary_dict(), indent=1) + "\n", encoding="utf-8"
+    )
 
     z_final = target_impedance_of_model(
-        result.weighted_enforced.model, omega, termination, args.observe_port,
+        result.weighted_enforced.model, omega, termination, observe_port,
         z0=data.z0,
     )
     table = np.column_stack(
@@ -154,6 +188,7 @@ def _run_flow_outputs(args: argparse.Namespace, data, termination, out: Path) ->
     )
     print(f"passive model : {out / 'passive_model.json'}")
     print(f"series        : {out / 'flow_series.csv'}")
+    print(f"summary       : {out / 'flow_summary.json'}")
     return 0
 
 
@@ -171,17 +206,17 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     if args.termination is not None:
         try:
             termination = build_termination(
-                args.termination, data.n_ports, observe_port=args.observe_port
+                args.termination, data.n_ports, observe_port=_observe_port(args)
             )
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         return _run_flow_outputs(args, data, termination, out)
 
-    options = VFOptions(
-        n_poles=args.poles, dc_exact=args.dc_exact, kernel=args.kernel
-    )
-    result = vector_fit(data.omega, data.samples, options=options)
+    # Plain fit: a one-stage pipeline seeded with the conditioned data.
+    pipeline = Pipeline([StandardFitStage()], observers=_observers(args))
+    run = pipeline.run(_repro_config(args), seed={"network": data})
+    result = run["standard_fit"]
     save_model(result.model, out / "model.json")
     report = check_passivity(result.model)
     lines = [
@@ -206,7 +241,34 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     return _cmd_fit(args)
 
 
+def _external_overrides(args: argparse.Namespace) -> dict:
+    """Scenario-field overrides implied by the shared ingest/termination
+    flags (``campaign`` applies them to external-data scenarios).
+
+    ``--observe-port`` is *not* in here: it is a general scenario field
+    (synthetic cases observe ports too) and is applied to every scenario.
+    """
+    overrides: dict = {}
+    if args.termination is not None:
+        overrides["termination_spec"] = args.termination
+    if args.z0 is not None:
+        overrides["data_z0"] = args.z0
+    if args.drop_dc:
+        overrides["data_dc_policy"] = "drop"
+    if args.f_min is not None:
+        overrides["data_f_min"] = args.f_min
+    if args.f_max is not None:
+        overrides["data_f_max"] = args.f_max
+    if args.max_points is not None:
+        overrides["data_max_points"] = args.max_points
+    if args.symmetrize is not None:
+        overrides["data_symmetrize"] = args.symmetrize
+    return overrides
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.campaign import (
         CampaignRegistry,
         FlowCache,
@@ -226,11 +288,30 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     scenarios = filter_scenarios(spec.expand(), args.filter)
     if args.fast or args.exact:
-        from dataclasses import replace
-
         strategy = _checker_strategy(args)
         scenarios = [
             replace(s, checker_strategy=strategy) for s in scenarios
+        ]
+    if args.observe_port is not None:
+        scenarios = [
+            replace(s, observe_port=args.observe_port) for s in scenarios
+        ]
+    overrides = _external_overrides(args)
+    if overrides:
+        # Ingest/termination flags override the spec's external-data
+        # knobs; synthetic scenarios have no data file to condition.
+        external = [s for s in scenarios if s.data_file is not None]
+        if not external:
+            print(
+                "error: ingest/termination overrides "
+                f"{sorted(overrides)} apply to external-data scenarios "
+                "only, and this campaign has none",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = [
+            replace(s, **overrides) if s.data_file is not None else s
+            for s in scenarios
         ]
     if not scenarios:
         print(
@@ -270,9 +351,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(report)
     if args.profile:
         for record in result.records:
-            profile = (record.get("timings") or {}).get(
-                "enforcement_profile"
-            )
+            timings = record.get("timings") or {}
+            stages = timings.get("stages")
+            if stages:
+                print(f"{record['run_id']} stages:")
+                for stage in stages:
+                    print(
+                        f"  {stage['stage']}: {stage['status']} "
+                        f"in {stage['seconds']:.3f}s"
+                    )
+            profile = timings.get("enforcement_profile")
             if not profile:
                 continue
             print(f"{record['run_id']}:")
@@ -329,159 +417,20 @@ def _log_level(args: argparse.Namespace) -> int | None:
     return None
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Sensitivity-weighted passivity enforcement for PDN "
-        "macromodels (Ubolli et al., DATE 2014)",
-    )
-    parser.add_argument(
-        "-v", "--verbose", action="count", default=0,
-        help="enable structured progress logging (-vv for debug)",
-    )
-    parser.add_argument(
-        "-q", "--quiet", action="store_true",
-        help="only log errors",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
+def _ingest_parent() -> argparse.ArgumentParser:
+    """Shared parent parser: the repro.ingest data-conditioning flags.
 
-    p_case = sub.add_parser("testcase", help="generate the synthetic PDN test case")
-    p_case.add_argument("--size", choices=["small", "medium", "large"],
-                        default="small")
-    p_case.add_argument("--output-dir", default="testcase")
-    p_case.set_defaults(func=_cmd_testcase)
-
-    p_fit = sub.add_parser(
-        "fit",
-        help="fit a Touchstone file (any multiport; full flow with "
-        "--termination)",
-        description="Condition a Touchstone file through repro.ingest and "
-        "vector-fit it.  Without --termination this is a plain fit; with "
-        "--termination (JSON file or compact inline spec, e.g. "
-        "'0=rlc(r=0.2,c=2e-9);1=short(1e-4)' or '*=r(50)') the full "
-        "sensitivity-weighted passivity-enforcement flow runs on the "
-        "external data.",
-    )
-    p_fit.add_argument("data", help="input .sNp file")
-    p_fit.add_argument("--poles", type=int, default=12)
-    p_fit.add_argument("--output-dir", default="fit")
-    p_fit.add_argument(
-        "--termination", default=None,
-        help="termination spec (JSON file or inline, see above); enables "
-        "the full sensitivity-weighted flow",
-    )
-    p_fit.add_argument(
-        "--observe-port", type=int, default=0,
-        help="observation port (0-based) of the full-flow path; also "
-        "receives the nominal 1 A excitation when the spec sets none",
-    )
-    _add_kernel_flag(p_fit)
-    _add_ingest_flags(p_fit)
-    _add_flow_flags(p_fit)
-    p_fit.set_defaults(func=_cmd_fit)
-
-    p_flow = sub.add_parser("flow", help="run the full paper pipeline")
-    p_flow.add_argument("data", help="input .sNp file")
-    p_flow.add_argument(
-        "--termination", required=True,
-        help="termination spec: JSON file or compact inline spec "
-        "(e.g. '*=r(50)' or '0=rlc(r=0.2,c=2e-9);1=short(1e-4)')",
-    )
-    p_flow.add_argument("--observe-port", type=int, default=0)
-    p_flow.add_argument("--poles", type=int, default=12)
-    p_flow.add_argument("--output-dir", default="flow")
-    _add_kernel_flag(p_flow)
-    _add_ingest_flags(p_flow)
-    _add_flow_flags(p_flow)
-    p_flow.set_defaults(func=_cmd_flow)
-
-    p_camp = sub.add_parser(
-        "campaign",
-        help="run a parameter-sweep campaign of flow runs",
-        description="Expand a campaign spec (JSON: base scenario + sweep "
-        "axes) into a scenario grid and run the full pipeline on every "
-        "scenario, in parallel, with content-addressed caching and an "
-        "on-disk result registry.",
-    )
-    p_camp.add_argument("spec", help="campaign spec JSON file")
-    p_camp.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes (default: CPU count, capped at 8; "
-        "1 = serial in-process)",
-    )
-    p_camp.add_argument(
-        "--resume", action="store_true",
-        help="skip scenarios already completed in the registry",
-    )
-    p_camp.add_argument(
-        "--filter", default=None,
-        help="only run scenarios whose name matches (substring or glob)",
-    )
-    p_camp.add_argument(
-        "--dry-run", action="store_true",
-        help="list the expanded scenarios without running anything",
-    )
-    p_camp.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the content-addressed flow cache",
-    )
-    p_camp.add_argument(
-        "--cache-dir", default=None,
-        help="cache location (default: <output-dir>/cache, shared "
-        "across campaigns)",
-    )
-    p_camp.add_argument("--output-dir", default="campaigns")
-    p_camp.add_argument(
-        "--no-shared-fits", action="store_true",
-        help="disable precomputing one shared standard vector fit per "
-        "group of scenarios reusing the same scattering data",
-    )
-    p_camp.add_argument(
-        "--blas-threads", type=int, default=None,
-        help="per-worker BLAS/OpenMP thread budget (default: CPU count "
-        "divided by the worker count; prevents oversubscription)",
-    )
-    _add_checker_flags(p_camp, override=True)
-    p_camp.add_argument(
-        "--profile", action="store_true",
-        help="print each run's enforcement timing breakdown "
-        "(check vs. QP vs. model rebuild)",
-    )
-    p_camp.set_defaults(func=_cmd_campaign)
-    return parser
-
-
-def _add_flow_flags(parser: argparse.ArgumentParser) -> None:
-    """Pipeline-configuration flags shared by the fit and flow subcommands.
-
-    Registered once here so the two commands can never drift apart on a
-    default (``_flow_options`` reads the parsed values directly).
+    Consumed (via ``parents=``) by ``fit``, ``flow`` and ``campaign``, so
+    the three subcommands expose identical flags with identical defaults;
+    ``campaign`` treats them as overrides of its external-data scenarios,
+    hence the "unset" defaults (``None``/``False``) everywhere.
     """
-    parser.add_argument("--dc-exact", action="store_true")
-    parser.add_argument("--weight-mode", choices=["relative", "absolute"],
-                        default="relative")
-    parser.add_argument("--refinement-rounds", type=int, default=3)
-    parser.add_argument("--weight-order", type=int, default=8)
-    parser.add_argument("--low-band-hz", type=float, default=1e6)
-    _add_checker_flags(parser)
-    parser.add_argument(
-        "--exact-every", type=int, default=5,
-        help="cadence of interleaved exact Hamiltonian checks in fast "
-        "mode (0 disables interleaving)",
-    )
-    parser.add_argument(
-        "--profile", action="store_true",
-        help="print a per-iteration timing breakdown of both "
-        "passivity-enforcement runs (check vs. QP vs. model rebuild)",
-    )
-
-
-def _add_ingest_flags(parser: argparse.ArgumentParser) -> None:
-    """Data-conditioning flags shared by the fit and flow subcommands."""
-    group = parser.add_argument_group(
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group(
         "data conditioning",
         "repro.ingest pipeline applied to the input file; every action "
-        "is recorded in <output-dir>/ingest_report.json",
+        "is recorded in <output-dir>/ingest_report.json (for campaigns "
+        "these flags override the external-data scenarios' data_* knobs)",
     )
     group.add_argument(
         "--z0", type=float, default=None,
@@ -506,19 +455,173 @@ def _add_ingest_flags(parser: argparse.ArgumentParser) -> None:
         "(endpoints always kept)",
     )
     group.add_argument(
-        "--symmetrize", choices=["auto", "always", "never"], default="auto",
+        "--symmetrize", choices=["auto", "always", "never"], default=None,
         help="reciprocity symmetrization: 'auto' (default) enforces "
         "S = S^T only on data already reciprocal to solver tolerance",
     )
+    return parent
 
 
-def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
-    """--kernel selection of the vector-fitting linear-algebra path."""
-    parser.add_argument(
+def _termination_parent(*, required: bool) -> argparse.ArgumentParser:
+    """Shared parent parser: termination spec + observation port.
+
+    ``fit`` takes the spec optionally (plain fit without), ``flow``
+    requires it, ``campaign`` applies it as an external-scenario
+    override.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--termination", required=required, default=None,
+        help="termination spec: JSON file or compact inline spec "
+        "(e.g. '*=r(50)' or '0=rlc(r=0.2,c=2e-9);1=short(1e-4)')",
+    )
+    parent.add_argument(
+        "--observe-port", type=int, default=None,
+        help="observation port (0-based) of the full-flow path (default "
+        "0); also receives the nominal 1 A excitation when the spec sets "
+        "none",
+    )
+    return parent
+
+
+def _flow_parent() -> argparse.ArgumentParser:
+    """Shared parent parser: pipeline-configuration flags of fit/flow."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--poles", type=int, default=12)
+    parent.add_argument("--dc-exact", action="store_true")
+    parent.add_argument(
         "--kernel", choices=["batched", "reference"], default="batched",
         help="vector-fitting kernel: stacked batched LAPACK (default) or "
         "the per-column reference loops",
     )
+    parent.add_argument("--weight-mode", choices=["relative", "absolute"],
+                        default="relative")
+    parent.add_argument("--refinement-rounds", type=int, default=3)
+    parent.add_argument("--weight-order", type=int, default=8)
+    parent.add_argument("--low-band-hz", type=float, default=1e6)
+    _add_checker_flags(parent)
+    parent.add_argument(
+        "--exact-every", type=int, default=5,
+        help="cadence of interleaved exact Hamiltonian checks in fast "
+        "mode (0 disables interleaving)",
+    )
+    parent.add_argument(
+        "--profile", action="store_true",
+        help="print per-stage pipeline timings plus a per-iteration "
+        "breakdown of both passivity-enforcement runs",
+    )
+    return parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sensitivity-weighted passivity enforcement for PDN "
+        "macromodels (Ubolli et al., DATE 2014)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable structured progress logging (-vv for debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_case = sub.add_parser("testcase", help="generate the synthetic PDN test case")
+    p_case.add_argument("--size", choices=["small", "medium", "large"],
+                        default="small")
+    p_case.add_argument("--output-dir", default="testcase")
+    p_case.set_defaults(func=_cmd_testcase)
+
+    ingest_parent = _ingest_parent()
+    flow_parent = _flow_parent()
+
+    p_fit = sub.add_parser(
+        "fit",
+        help="fit a Touchstone file (any multiport; full flow with "
+        "--termination)",
+        description="Condition a Touchstone file through repro.ingest and "
+        "vector-fit it.  Without --termination this is a plain fit; with "
+        "--termination (JSON file or compact inline spec, e.g. "
+        "'0=rlc(r=0.2,c=2e-9);1=short(1e-4)' or '*=r(50)') the full "
+        "sensitivity-weighted passivity-enforcement flow runs on the "
+        "external data.",
+        parents=[ingest_parent, _termination_parent(required=False),
+                 flow_parent],
+    )
+    p_fit.add_argument("data", help="input .sNp file")
+    p_fit.add_argument("--output-dir", default="fit")
+    p_fit.set_defaults(func=_cmd_fit)
+
+    p_flow = sub.add_parser(
+        "flow",
+        help="run the full paper pipeline",
+        parents=[ingest_parent, _termination_parent(required=True),
+                 flow_parent],
+    )
+    p_flow.add_argument("data", help="input .sNp file")
+    p_flow.add_argument("--output-dir", default="flow")
+    p_flow.set_defaults(func=_cmd_flow)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a parameter-sweep campaign of flow runs",
+        description="Expand a campaign spec (JSON: base scenario + sweep "
+        "axes) into a scenario grid and run the full pipeline on every "
+        "scenario, in parallel, with content-addressed caching and an "
+        "on-disk result registry.  The shared ingest/termination flags "
+        "override the data_* knobs of external-data scenarios.",
+        parents=[ingest_parent, _termination_parent(required=False)],
+    )
+    p_camp.add_argument("spec", help="campaign spec JSON file")
+    p_camp.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: CPU count, capped at 8; "
+        "1 = serial in-process)",
+    )
+    p_camp.add_argument(
+        "--resume", action="store_true",
+        help="skip scenarios already completed in the registry",
+    )
+    p_camp.add_argument(
+        "--filter", default=None,
+        help="only run scenarios whose name matches (substring or glob)",
+    )
+    p_camp.add_argument(
+        "--dry-run", action="store_true",
+        help="list the expanded scenarios without running anything",
+    )
+    p_camp.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed flow and stage caches",
+    )
+    p_camp.add_argument(
+        "--cache-dir", default=None,
+        help="cache location (default: <output-dir>/cache, shared "
+        "across campaigns; per-stage artifacts live in its stages/ "
+        "subdirectory)",
+    )
+    p_camp.add_argument("--output-dir", default="campaigns")
+    p_camp.add_argument(
+        "--no-shared-fits", action="store_true",
+        help="disable precomputing one shared standard vector fit per "
+        "group of scenarios reusing the same scattering data",
+    )
+    p_camp.add_argument(
+        "--blas-threads", type=int, default=None,
+        help="per-worker BLAS/OpenMP thread budget (default: CPU count "
+        "divided by the worker count; prevents oversubscription)",
+    )
+    _add_checker_flags(p_camp, override=True)
+    p_camp.add_argument(
+        "--profile", action="store_true",
+        help="print each run's per-stage pipeline timings and enforcement "
+        "breakdown (check vs. QP vs. model rebuild)",
+    )
+    p_camp.set_defaults(func=_cmd_campaign)
+    return parser
 
 
 def _add_checker_flags(

@@ -1,7 +1,16 @@
 """End-to-end macromodeling flow and accuracy metrics."""
 
-from repro.flow.macromodel import FlowOptions, FlowResult, MacromodelingFlow
+from repro.flow.macromodel import (
+    FlowOptions,
+    FlowResult,
+    MacromodelingFlow,
+    flow_result_from_run,
+    run_flow,
+)
 from repro.flow.metrics import (
+    accuracy_table,
+    flow_accuracy_rows,
+    headline_metrics,
     impedance_error_report,
     max_relative_impedance_error,
     rms_scattering_error,
@@ -11,6 +20,11 @@ __all__ = [
     "FlowOptions",
     "FlowResult",
     "MacromodelingFlow",
+    "flow_result_from_run",
+    "run_flow",
+    "accuracy_table",
+    "flow_accuracy_rows",
+    "headline_metrics",
     "impedance_error_report",
     "max_relative_impedance_error",
     "rms_scattering_error",

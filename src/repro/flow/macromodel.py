@@ -13,6 +13,17 @@ Chains every stage of the paper into one reproducible pipeline:
 5. *Passivity enforcement*, twice on the weighted model: with the standard
    L2 cost (eq. 10; destroys the loaded impedance, Fig. 5) and with the
    sensitivity-weighted cost (eqs. 18-21; preserves it, Figs. 4-6).
+6. *Validation* -- accuracy table and headline metrics of the four model
+   variants.
+
+Execution is delegated to the composable pipeline engine of
+:mod:`repro.api`: :meth:`MacromodelingFlow.run` seeds a
+:func:`repro.api.pipeline.standard_pipeline` with the in-memory data and
+returns the assembled :class:`FlowResult`, so this module, the CLI and
+the campaign executor all share one execution path, one per-stage cache
+(pass ``store=``) and one event surface (pass ``observers=``).  The
+numerical chain is unchanged -- a pipeline-backed run reproduces the
+legacy results exactly.
 
 Weighting scheme note (documented substitution): the paper weights by the
 raw sensitivity w_k = Xi_k, whose 80 dB decay on the Intel test case makes
@@ -29,21 +40,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.passivity.check import PassivityReport, check_passivity
-from repro.passivity.cost import l2_gramian_cost
+from repro.passivity.check import PassivityReport
 from repro.passivity.enforce import (
     EnforcementOptions,
     EnforcementResult,
-    enforce_passivity,
 )
 from repro.pdn.termination import TerminationNetwork
 from repro.sensitivity.firstorder import sensitivity_analytic
-from repro.sensitivity.weighted_norm import sensitivity_weighted_cost
 from repro.sensitivity.weightmodel import SensitivityWeight, build_weight_model
-from repro.sensitivity.zpdn import target_impedance, target_impedance_of_model
 from repro.sparams.network import NetworkData
 from repro.util.logging import get_logger
-from repro.vectfit.core import VFResult, fit_many, vector_fit
+from repro.vectfit.core import VFResult, vector_fit
 from repro.vectfit.options import VFOptions
 
 _LOG = get_logger(__name__)
@@ -113,9 +120,18 @@ class FlowResult:
     standard_enforced / weighted_enforced:
         Passivity enforcement of the weighted model under the standard L2
         cost and under the sensitivity-weighted cost.
-    standard_fit_report:
+    pre_enforcement_report:
         Passivity report of the weighted (non-passive) model before
         enforcement.
+    accuracy_rows:
+        Per-variant accuracy rows from the validation stage
+        (:class:`~repro.flow.metrics.ModelAccuracyRow`).
+    headline_metrics:
+        Scalar summary metrics (:func:`repro.flow.metrics.headline_metrics`).
+    stage_provenance:
+        Per-stage execution records of the pipeline run: stage name,
+        status (``computed``/``cached``/``seeded``), wall seconds and the
+        content-addressed store key.
     """
 
     omega: np.ndarray
@@ -129,6 +145,45 @@ class FlowResult:
     pre_enforcement_report: PassivityReport
     standard_enforced: EnforcementResult
     weighted_enforced: EnforcementResult
+    accuracy_rows: tuple = ()
+    headline_metrics: dict = field(default_factory=dict, repr=False)
+    stage_provenance: tuple = ()
+
+    def stage_timings(self) -> dict[str, float]:
+        """Wall seconds per pipeline stage of this run."""
+        return {
+            record["stage"]: record["seconds"]
+            for record in self.stage_provenance
+        }
+
+    def summary_dict(self) -> dict:
+        """JSON-compatible run summary: metrics, timings, provenance.
+
+        The one summary every surface shares: the CLI writes it as
+        ``flow_summary.json`` and campaign records embed the ``stages``
+        block, so per-stage wall times and cache-hit provenance are
+        always reported alongside the accuracy numbers.
+        """
+        from repro.flow.metrics import accuracy_table
+
+        return {
+            "metrics": dict(self.headline_metrics),
+            "accuracy_table": accuracy_table(list(self.accuracy_rows)),
+            "stages": [dict(record) for record in self.stage_provenance],
+            "stage_seconds": self.stage_timings(),
+            "enforcement": {
+                "standard_cost": {
+                    "iterations": int(self.standard_enforced.iterations),
+                    "converged": bool(self.standard_enforced.converged),
+                    "profile": self.standard_enforced.profile(),
+                },
+                "weighted_cost": {
+                    "iterations": int(self.weighted_enforced.iterations),
+                    "converged": bool(self.weighted_enforced.converged),
+                    "profile": self.weighted_enforced.profile(),
+                },
+            },
+        }
 
 
 class MacromodelingFlow:
@@ -163,36 +218,13 @@ class MacromodelingFlow:
     ) -> np.ndarray:
         """Normalized, floored fitting weights from the sensitivity.
 
-        External data can produce degenerate inputs the paper's synthetic
-        case never hits: a (near-)zero target-impedance sample would put
-        inf/NaN into the relative weights, and an identically-flat
-        sensitivity has no peak to normalize by.  The reference magnitude
-        is therefore clamped to a small fraction of its peak, and a
-        sensitivity with no positive finite peak falls back to uniform
-        weights (the weighted fit then degenerates to the standard one,
-        which is the right answer for zero information).
+        Delegates to :func:`repro.api.stages.compute_base_weights`, the
+        single implementation both APIs share; see there for the
+        degenerate-input handling (zero reference, flat sensitivity).
         """
-        xi = np.asarray(xi, dtype=float)
-        if not np.all(np.isfinite(xi)):
-            raise ValueError("sensitivity contains non-finite entries")
-        if self.options.weight_mode == "relative":
-            ref_abs = np.abs(np.asarray(reference))
-            peak_ref = float(np.max(ref_abs, initial=0.0))
-            if not np.isfinite(peak_ref) or peak_ref <= 0.0:
-                raise ValueError(
-                    "reference impedance is zero or non-finite; relative "
-                    "weighting is undefined (use weight_mode='absolute')"
-                )
-            raw = xi / np.maximum(ref_abs, 1e-12 * peak_ref)
-        else:
-            raw = xi.copy()
-        peak = float(np.max(raw, initial=0.0))
-        if not np.isfinite(peak):
-            raise ValueError("sensitivity weights overflowed to non-finite")
-        if peak <= 0.0:
-            return np.ones_like(raw)
-        normalized = raw / peak
-        return np.maximum(normalized, self.options.weight_floor)
+        from repro.api.stages import compute_base_weights
+
+        return compute_base_weights(self.options, xi, reference)
 
     def fit_weighted(
         self,
@@ -206,32 +238,15 @@ class MacromodelingFlow:
         """Stage 3: weighted fit with iterative refinement (ref. [23]).
 
         ``initial_result`` optionally supplies the fit of the unrefined
-        ``weights`` (e.g. from a batched :func:`fit_many` call) so the
-        first vector fit is not recomputed.  Returns the final fit and
-        the final weight vector.
+        ``weights`` so the first vector fit is not recomputed.  Returns
+        the final fit and the final weight vector.
         """
-        w = weights.copy()
-        result = initial_result
-        if result is None:
-            result = vector_fit(data.omega, data.samples, w, self.options.vf)
-        for round_index in range(self.options.refinement_rounds):
-            errors = np.abs(
-                target_impedance_of_model(
-                    result.model, data.omega, termination, observe_port,
-                    z0=data.z0,
-                )
-                - reference
-            ) / np.abs(reference)
-            pivot = max(float(np.median(errors)), 1e-4)
-            w = w * np.sqrt(np.maximum(errors / pivot, 1.0))
-            w = np.maximum(w / float(np.max(w)), self.options.weight_floor)
-            result = vector_fit(data.omega, data.samples, w, self.options.vf)
-            _LOG.info(
-                "weight refinement %d: max rel Z error %.4f",
-                round_index + 1,
-                float(np.max(errors)),
-            )
-        return result, w
+        from repro.api.stages import refine_weighted_fit
+
+        return refine_weighted_fit(
+            self.options, data, termination, observe_port, weights,
+            reference, initial_result=initial_result,
+        )
 
     def build_weight_model(
         self, data: NetworkData, base_weights: np.ndarray
@@ -253,90 +268,130 @@ class MacromodelingFlow:
         observe_port: int,
         *,
         standard_fit: VFResult | None = None,
+        store=None,
+        store_stages=None,
+        observers=(),
+        config=None,
     ) -> FlowResult:
         """Run all stages; see :class:`FlowResult` for the outputs.
 
-        The sensitivity Xi_k (eq. 5) is computed from the raw samples, so
-        the base weights exist before any fitting: the standard fit and
-        the first weighted fit share one :func:`fit_many` call (shared
-        grid validation, starting poles and iteration-0 basis work).
+        Executes through :func:`repro.api.pipeline.standard_pipeline`
+        seeded with the in-memory data, so per-stage caching and event
+        hooks come for free:
 
-        ``standard_fit`` optionally injects a precomputed standard fit of
-        the *same* data under the *same* VF options -- the campaign
-        executor shares one standard fit across all scenarios of a sweep
-        that reuse the scattering data (termination perturbations leave
-        it untouched).  The injected result must equal what
-        :meth:`fit_standard` would compute; :func:`fit_many` guarantees
-        that determinism.
+        ``standard_fit``
+            optionally injects a precomputed standard fit of the *same*
+            data under the *same* VF options -- the campaign executor
+            shares one standard fit across all scenarios of a sweep that
+            reuse the scattering data (termination perturbations leave it
+            untouched).  The injected result must equal what
+            :meth:`fit_standard` would compute;
+            :func:`repro.vectfit.core.fit_many` guarantees that
+            determinism.  It seeds the ``standard_fit`` artifact (the
+            stage is skipped).
+        ``store`` / ``store_stages``
+            optional :class:`repro.api.artifacts.ArtifactStore` (or a
+            directory path for one): stage results are loaded from /
+            saved to it by content key, making the run resumable and
+            shareable.  ``store_stages`` optionally restricts the store
+            to the named stages (see :class:`repro.api.pipeline.
+            Pipeline`).
+
+        Note on stage decomposition: the legacy fixed chain computed the
+        standard and iteration-0 weighted fits in one joint
+        :func:`~repro.vectfit.core.fit_many` call; content-keyed stages
+        compute them independently (identical numbers, a few percent of
+        one cold run's wall time), which is what makes the standard fit
+        shareable across terminations via the store.
+        ``observers``
+            :class:`repro.api.pipeline.PipelineObserver` instances
+            receiving ``on_stage_start``/``on_stage_finish`` events.
+        ``config``
+            optional full :class:`repro.api.config.ReproConfig`; when
+            omitted one is built from ``self.options`` (validation at
+            its defaults).
         """
+        from repro.api.artifacts import ArtifactStore
+        from repro.api.config import ReproConfig
+        from repro.api.pipeline import standard_pipeline
+
         if data.kind != "s":
             raise ValueError("the flow expects scattering data")
-        omega = data.omega
-        reference = target_impedance(
-            data.samples, omega, termination, observe_port, z0=data.z0
+        if config is None:
+            config = ReproConfig.from_flow_options(self.options)
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        seed: dict = {
+            "network": data,
+            "termination": termination,
+            "observe_port": int(observe_port),
+        }
+        if standard_fit is not None:
+            seed["standard_fit"] = standard_fit
+        pipeline = standard_pipeline(
+            store=store, store_stages=store_stages, observers=observers
         )
-        xi = self.compute_sensitivity(data, termination, observe_port)
-        base = self.base_weights(data, xi, reference)
-        if standard_fit is None:
-            standard, weighted0 = fit_many(
-                omega, [data.samples, data.samples], [None, base],
-                self.options.vf,
-            )
-        else:
-            standard = standard_fit
-            weighted0 = vector_fit(omega, data.samples, base, self.options.vf)
-        weighted, final_weights = self.fit_weighted(
-            data, termination, observe_port, base, reference,
-            initial_result=weighted0,
-        )
-        weight_model = self.build_weight_model(data, base)
-        report = check_passivity(
-            weighted.model, band_samples=self.options.enforcement.band_samples
-        )
+        run = pipeline.run(config, seed=seed)
+        return flow_result_from_run(run)
 
-        # Both enforcement runs start from the same weighted model, so the
-        # pre-enforcement report doubles as their exact iteration-0 check.
-        standard_cost = l2_gramian_cost(weighted.model)
-        standard_enforced = enforce_passivity(
-            weighted.model, standard_cost, self.options.enforcement,
-            initial_report=report,
-        )
-        weighted_cost = sensitivity_weighted_cost(
-            weighted.model, weight_model.model
-        )
-        weighted_enforced = enforce_passivity(
-            weighted.model, weighted_cost, self.options.enforcement,
-            initial_report=report,
-        )
-        return FlowResult(
-            omega=omega,
-            reference_impedance=reference,
-            xi=xi,
-            base_weights=base,
-            final_weights=final_weights,
-            standard_fit=standard,
-            weighted_fit=weighted,
-            weight_model=weight_model,
-            pre_enforcement_report=report,
-            standard_enforced=standard_enforced,
-            weighted_enforced=weighted_enforced,
-        )
+
+def flow_result_from_run(run) -> FlowResult:
+    """Assemble a :class:`FlowResult` from a pipeline run's artifacts.
+
+    The run must have executed the standard flow stages (any extra
+    artifacts from inserted custom stages are simply not part of the
+    result object; read them off ``run.artifacts`` directly).
+    """
+    artifacts = run.artifacts
+    return FlowResult(
+        omega=artifacts["network"].omega,
+        reference_impedance=artifacts["reference_impedance"],
+        xi=artifacts["xi"],
+        base_weights=artifacts["base_weights"],
+        final_weights=artifacts["final_weights"],
+        standard_fit=artifacts["standard_fit"],
+        weighted_fit=artifacts["weighted_fit"],
+        weight_model=artifacts["weight_model"],
+        pre_enforcement_report=artifacts["pre_enforcement_report"],
+        standard_enforced=artifacts["standard_enforced"],
+        weighted_enforced=artifacts["weighted_enforced"],
+        accuracy_rows=tuple(artifacts.get("accuracy_rows", ())),
+        headline_metrics=dict(artifacts.get("headline_metrics", {})),
+        stage_provenance=tuple(run.provenance()),
+    )
 
 
 def run_flow(
     data: NetworkData,
     termination: TerminationNetwork,
     observe_port: int,
-    options: FlowOptions | None = None,
+    options=None,
     standard_fit: VFResult | None = None,
+    *,
+    store=None,
+    store_stages=None,
+    observers=(),
 ) -> FlowResult:
     """Pure functional entry point to the full pipeline.
 
     Module-level (hence picklable) so campaign workers can ship it to
     subprocesses; all state lives in the arguments, which are themselves
-    plain-data containers.  ``standard_fit`` forwards a shared
-    precomputed standard fit (see :meth:`MacromodelingFlow.run`).
+    plain-data containers.  ``options`` accepts a legacy
+    :class:`FlowOptions` or a full :class:`repro.api.config.ReproConfig`;
+    ``standard_fit`` forwards a shared precomputed standard fit and
+    ``store``/``observers`` forward the pipeline engine's per-stage cache
+    and event hooks (see :meth:`MacromodelingFlow.run`).
     """
-    return MacromodelingFlow(options).run(
-        data, termination, observe_port, standard_fit=standard_fit
+    from repro.api.config import ReproConfig
+
+    config = ReproConfig.coerce(options)
+    return MacromodelingFlow(config.flow).run(
+        data,
+        termination,
+        observe_port,
+        standard_fit=standard_fit,
+        store=store,
+        store_stages=store_stages,
+        observers=observers,
+        config=config,
     )

@@ -137,6 +137,63 @@ def flow_accuracy_rows(
     return rows
 
 
+#: Accuracy-table labels promoted to headline metrics (per-model suffix).
+_HEADLINE_ROWS = {
+    "passive, standard cost": "standard_cost",
+    "passive, weighted cost": "weighted_cost",
+}
+
+
+def accuracy_table(rows: list[ModelAccuracyRow]) -> list[dict]:
+    """JSON-compatible form of the accuracy rows (campaign records)."""
+    return [
+        {
+            "label": row.label,
+            "rms_scattering": row.rms_scattering,
+            "max_scattering": row.max_scattering,
+            "max_rel_impedance": row.max_rel_impedance,
+            "low_band_rel_impedance": row.low_band_rel_impedance,
+            "is_passive": row.is_passive,
+        }
+        for row in rows
+    ]
+
+
+def headline_metrics(table: list[dict], result) -> dict:
+    """Scalar summary metrics of one flow run.
+
+    ``table`` is :func:`accuracy_table` output; ``result`` is any object
+    with the flow-result attributes ``weighted_fit``,
+    ``pre_enforcement_report`` and ``weighted_enforced`` (a
+    :class:`~repro.flow.macromodel.FlowResult` or the validation stage's
+    proxy).  Shared by the validation stage and the campaign executor so
+    every surface reports identical numbers.
+    """
+    metrics: dict = {}
+    for row in table:
+        suffix = _HEADLINE_ROWS.get(row["label"])
+        if suffix is None:
+            continue
+        metrics[f"max_rel_impedance_{suffix}"] = row["max_rel_impedance"]
+        metrics[f"low_band_rel_impedance_{suffix}"] = (
+            row["low_band_rel_impedance"]
+        )
+        metrics[f"passive_{suffix}"] = row["is_passive"]
+    metrics["rms_scattering_weighted_fit"] = float(
+        result.weighted_fit.rms_error
+    )
+    metrics["worst_sigma_before_enforcement"] = float(
+        result.pre_enforcement_report.worst_sigma
+    )
+    metrics["enforcement_iterations_weighted_cost"] = int(
+        result.weighted_enforced.iterations
+    )
+    metrics["enforcement_converged_weighted_cost"] = bool(
+        result.weighted_enforced.converged
+    )
+    return metrics
+
+
 def impedance_error_report(
     rows: list[ModelAccuracyRow],
 ) -> str:

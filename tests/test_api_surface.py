@@ -1,0 +1,40 @@
+"""API-surface snapshot: public names of repro/repro.api/repro.flow.
+
+Fails when the exported surface drifts from ``tests/data/api_surface.txt``
+so breaking changes are an explicit decision (regenerate the snapshot via
+``python tools/api_surface.py --update``), never an accident.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_tool():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import api_surface
+    finally:
+        sys.path.pop(0)
+    return api_surface
+
+
+def test_surface_matches_snapshot():
+    tool = _load_tool()
+    snapshot = tool.SNAPSHOT.read_text(encoding="utf-8")
+    current = tool.current_surface()
+    assert current == snapshot, (
+        "public API surface changed; run "
+        "'python tools/api_surface.py --update' if the change is intended"
+    )
+
+
+def test_exported_names_resolve():
+    import importlib
+
+    tool = _load_tool()
+    for line in tool.current_surface().splitlines():
+        module_name, _, attribute = line.rpartition(".")
+        module = importlib.import_module(module_name)
+        assert hasattr(module, attribute), line
