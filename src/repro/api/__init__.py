@@ -42,6 +42,7 @@ from repro.api.config import (
 )
 from repro.api.pipeline import (
     ConsoleObserver,
+    EventObserver,
     Pipeline,
     PipelineObserver,
     PipelineRun,
@@ -75,6 +76,7 @@ __all__ = [
     "options_to_dict",
     "options_token",
     "ConsoleObserver",
+    "EventObserver",
     "Pipeline",
     "PipelineObserver",
     "PipelineRun",

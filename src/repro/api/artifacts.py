@@ -39,6 +39,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.flow.metrics import ModelAccuracyRow
+from repro.obs import telemetry as obs
 from repro.ingest.conditioning import IngestAction, IngestReport
 from repro.passivity.check import PassivityReport, ViolationBand
 from repro.passivity.enforce import EnforcementResult, IterationRecord
@@ -230,25 +231,31 @@ class ArtifactStore:
         """Decoded output dict of one entry; ``None`` on miss."""
         hit = self._memory.get(key)
         if hit is not None:
+            obs.incr("artifact_store.hits")
             return dict(hit)
         path = self.path(key)
         if path is None or not path.exists():
+            obs.incr("artifact_store.misses")
             return None
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
             if payload.get("format") != _STORE_FORMAT:
+                obs.incr("artifact_store.misses")
                 return None
             values = {
                 name: decode_artifact(encoded)
                 for name, encoded in payload["values"].items()
             }
         except (KeyError, ValueError, TypeError, OSError):
+            obs.incr("artifact_store.misses")
             return None
         self._memory[key] = values
+        obs.incr("artifact_store.hits")
         return dict(values)
 
     def put(self, key: str, values: dict) -> None:
         """Store one entry (memory always; disk atomically when enabled)."""
+        obs.incr("artifact_store.puts")
         self._memory[key] = dict(values)
         path = self.path(key)
         if path is None:

@@ -36,6 +36,7 @@ from typing import Iterable, Sequence
 from repro.api.artifacts import ArtifactStore
 from repro.api.config import ReproConfig
 from repro.api.stages import PipelineStage, standard_stages
+from repro.obs import telemetry as obs
 from repro.util.logging import get_logger
 
 _LOG = get_logger(__name__)
@@ -85,6 +86,28 @@ class PipelineObserver:
         """Called after a stage resolved, with its provenance record."""
 
 
+class EventObserver(PipelineObserver):
+    """Observer receiving stage callbacks as structured event dicts.
+
+    The callback payloads are the same shapes the telemetry layer records
+    (``{"event": "stage.start", "stage": name}`` and ``{"event":
+    "stage.finish", **execution.to_dict()}``), so an observer written
+    against :meth:`on_event` works identically over a live pipeline run
+    and over a replayed ``events-*.jsonl`` telemetry stream.
+    """
+
+    def on_event(self, event: dict) -> None:
+        """Receive one structured event; override in subclasses."""
+
+    def on_stage_start(self, stage: PipelineStage) -> None:
+        self.on_event({"event": "stage.start", "stage": stage.name})
+
+    def on_stage_finish(
+        self, stage: PipelineStage, execution: StageExecution
+    ) -> None:
+        self.on_event({"event": "stage.finish", **execution.to_dict()})
+
+
 class TimingObserver(PipelineObserver):
     """Collects per-stage provenance; handy for tests and embedding."""
 
@@ -97,28 +120,44 @@ class TimingObserver(PipelineObserver):
         self.executions.append(execution)
 
     def seconds(self) -> dict[str, float]:
-        return {e.stage: e.seconds for e in self.executions}
+        """Accumulated wall seconds per stage name.
+
+        Stages that ran more than once (e.g. across repeated ``run``
+        calls observed by one instance) sum rather than overwrite.
+        """
+        totals: dict[str, float] = {}
+        for e in self.executions:
+            totals[e.stage] = totals.get(e.stage, 0.0) + e.seconds
+        return totals
 
 
-class ConsoleObserver(PipelineObserver):
-    """Prints stage progress and timings (the CLI ``--profile`` surface)."""
+class ConsoleObserver(EventObserver):
+    """Reports stage progress and timings (the CLI ``--profile`` surface).
+
+    By default lines go through the package logger (``repro.api.pipeline``
+    at INFO), so library embedders control them with standard logging
+    configuration and nothing hits stdout unbidden.  Passing a ``stream``
+    writes the same lines there instead -- the CLI passes ``sys.stdout``
+    to keep ``--profile`` output visible without logging setup.
+    """
 
     def __init__(self, stream=None) -> None:
-        import sys
+        self.stream = stream
 
-        self.stream = stream if stream is not None else sys.stdout
+    def _emit_line(self, line: str) -> None:
+        if self.stream is not None:
+            print(line, file=self.stream)
+        else:
+            _LOG.info("%s", line)
 
-    def on_stage_start(self, stage: PipelineStage) -> None:
-        print(f"stage {stage.name}: running ...", file=self.stream)
-
-    def on_stage_finish(
-        self, stage: PipelineStage, execution: StageExecution
-    ) -> None:
-        print(
-            f"stage {execution.stage}: {execution.status} "
-            f"in {execution.seconds:.3f}s",
-            file=self.stream,
-        )
+    def on_event(self, event: dict) -> None:
+        if event.get("event") == "stage.start":
+            self._emit_line(f"stage {event['stage']}: running ...")
+        elif event.get("event") == "stage.finish":
+            self._emit_line(
+                f"stage {event['stage']}: {event['status']} "
+                f"in {event['seconds']:.3f}s"
+            )
 
 
 @dataclass(frozen=True)
@@ -279,36 +318,43 @@ class Pipeline:
             seeded = [name for name in out_names if name in state]
             for observer in self.observers:
                 observer.on_stage_start(stage)
-            started = time.perf_counter()
-            if seeded and len(seeded) == len(out_names):
-                execution = StageExecution(
-                    stage=stage.name, status=STATUS_SEEDED, seconds=0.0,
-                    outputs=tuple(out_names),
-                )
-            elif seeded:
-                raise ValueError(
-                    f"stage {stage.name!r}: outputs {sorted(seeded)} are "
-                    "seeded but "
-                    f"{sorted(set(out_names) - set(seeded))} are not; "
-                    "seed all of a stage's outputs or none"
-                )
-            else:
-                missing = [
-                    spec.name for spec in stage.inputs
-                    if spec.name not in state
-                ]
-                if missing:
-                    raise ValueError(
-                        f"stage {stage.name!r} requires artifacts "
-                        f"{sorted(missing)} which no earlier stage or seed "
-                        "provides"
+            with obs.span(f"stage:{stage.name}"):
+                started = time.perf_counter()
+                if seeded and len(seeded) == len(out_names):
+                    execution = StageExecution(
+                        stage=stage.name, status=STATUS_SEEDED, seconds=0.0,
+                        outputs=tuple(out_names),
                     )
-                inputs = {spec.name: state[spec.name] for spec in stage.inputs}
-                for spec in stage.inputs:
-                    spec.check(inputs[spec.name])
-                execution, values = self._resolve(stage, config, inputs, started)
-                state.update(values)
+                elif seeded:
+                    raise ValueError(
+                        f"stage {stage.name!r}: outputs {sorted(seeded)} are "
+                        "seeded but "
+                        f"{sorted(set(out_names) - set(seeded))} are not; "
+                        "seed all of a stage's outputs or none"
+                    )
+                else:
+                    missing = [
+                        spec.name for spec in stage.inputs
+                        if spec.name not in state
+                    ]
+                    if missing:
+                        raise ValueError(
+                            f"stage {stage.name!r} requires artifacts "
+                            f"{sorted(missing)} which no earlier stage or "
+                            "seed provides"
+                        )
+                    inputs = {
+                        spec.name: state[spec.name] for spec in stage.inputs
+                    }
+                    for spec in stage.inputs:
+                        spec.check(inputs[spec.name])
+                    execution, values = self._resolve(
+                        stage, config, inputs, started
+                    )
+                    state.update(values)
             executions.append(execution)
+            obs.incr(f"pipeline.stages_{execution.status}")
+            obs.emit("stage.finish", **execution.to_dict())
             for observer in self.observers:
                 observer.on_stage_finish(stage, execution)
             if stage.name == stop_after:

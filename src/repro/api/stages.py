@@ -29,6 +29,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.api.artifacts import ArtifactSpec, artifact_digest
+from repro.obs import telemetry as obs
 from repro.api.config import ReproConfig, options_to_dict, options_token
 from repro.flow.macromodel import FlowOptions
 from repro.ingest.conditioning import IngestReport
@@ -434,15 +435,19 @@ class EnforceStage(PipelineStage):
             weighted.model, band_samples=enforcement.band_samples
         )
         standard_cost = l2_gramian_cost(weighted.model)
-        standard_enforced = enforce_passivity(
-            weighted.model, standard_cost, enforcement, initial_report=report
-        )
+        with obs.span("enforce:standard_cost"):
+            standard_enforced = enforce_passivity(
+                weighted.model, standard_cost, enforcement,
+                initial_report=report, cost_label="standard",
+            )
         weighted_cost = sensitivity_weighted_cost(
             weighted.model, weight_model.model
         )
-        weighted_enforced = enforce_passivity(
-            weighted.model, weighted_cost, enforcement, initial_report=report
-        )
+        with obs.span("enforce:weighted_cost"):
+            weighted_enforced = enforce_passivity(
+                weighted.model, weighted_cost, enforcement,
+                initial_report=report, cost_label="weighted",
+            )
         return {
             "pre_enforcement_report": report,
             "standard_enforced": standard_enforced,

@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.flow.macromodel import FlowOptions
+from repro.obs import telemetry as obs
 from repro.pdn.spec import termination_to_dict
 from repro.pdn.termination import TerminationNetwork
 from repro.sparams.network import NetworkData
@@ -89,17 +90,21 @@ class FlowCache:
         """Look up an entry; ``None`` on miss or unreadable entry."""
         path = self._path(key)
         if not path.exists():
+            obs.incr("flow_cache.misses")
             return None
         try:
             model, metadata = load_model_with_metadata(path)
         except (ValueError, json.JSONDecodeError, OSError):
             # A corrupt entry (interrupted write of an older, non-atomic
             # producer) behaves like a miss and is overwritten on put.
+            obs.incr("flow_cache.misses")
             return None
+        obs.incr("flow_cache.hits")
         return CachedRun(key=key, model=model, record=metadata)
 
     def put(self, key: str, model: PoleResidueModel, record: dict) -> None:
         """Store an entry atomically under its content key."""
+        obs.incr("flow_cache.puts")
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(

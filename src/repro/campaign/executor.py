@@ -49,6 +49,9 @@ from repro.campaign.registry import CampaignRegistry
 from repro.campaign.scenario import CampaignSpec, ScenarioSpec
 from repro.flow.macromodel import run_flow
 from repro.flow.metrics import accuracy_table
+from repro.obs import telemetry as obs
+from repro.obs.metrics import build_campaign_metrics, write_metrics_files
+from repro.obs.telemetry import telemetry_session
 from repro.statespace.poleresidue import PoleResidueModel
 from repro.util.logging import enable_console_logging, get_logger
 from repro.vectfit.core import VFResult, fit_many
@@ -159,6 +162,7 @@ def execute_scenario(
     cache_dir: str | None = None,
     standard_fit: VFResult | None = None,
     stage_store: str | None = None,
+    telemetry_dir: str | None = None,
 ) -> tuple[dict, PoleResidueModel | None]:
     """Run one scenario end-to-end; never raises.
 
@@ -168,11 +172,28 @@ def execute_scenario(
     options is ignored rather than trusted.  ``stage_store`` optionally
     points the flow pipeline at a content-addressed per-stage artifact
     store, so individual stage results (the standard fit in particular)
-    are reused across scenarios and campaign re-runs.  Returns
+    are reused across scenarios and campaign re-runs.  ``telemetry_dir``
+    opens a per-run telemetry session whose events stream to a sidecar
+    ``events-scenario-<run_id>-<pid>.jsonl`` file in that directory and
+    whose summary rides along in ``record["telemetry"]`` (merged into
+    the registry record and the campaign-level metrics).  Returns
     ``(record, model)`` where ``record`` is JSON-compatible and ``model``
     is the passive weighted-cost macromodel (``None`` when the scenario
     failed).
     """
+    if telemetry_dir is not None:
+        with telemetry_session(
+            telemetry_dir,
+            label="scenario",
+            run_id=scenario.run_id,
+            write_metrics=False,
+        ) as tel:
+            record, model = execute_scenario(
+                scenario, cache_dir, standard_fit, stage_store
+            )
+            record["telemetry"] = tel.snapshot()
+        return record, model
+
     started = time.perf_counter()
     record: dict = {
         "run_id": scenario.run_id,
@@ -245,6 +266,11 @@ def execute_scenario(
         record["environment"]["shared_standard_fit"] = any(
             stage["stage"] == "standard_fit" and stage["cache_hit"]
             for stage in result.stage_provenance
+        )
+        obs.incr(
+            "campaign.shared_fit_hits"
+            if record["environment"]["shared_standard_fit"]
+            else "campaign.shared_fit_misses"
         )
         record.update(
             status="ok",
@@ -493,6 +519,7 @@ def _shared_standard_fits(
             )
             continue
         if cache is not None and _group_fully_cached(base, members, cache):
+            obs.incr("campaign.prefit_cached_groups")
             _LOG.info(
                 "shared standard fits: group %s fully cached, skipped", key
             )
@@ -511,11 +538,14 @@ def _shared_standard_fits(
     prefits: dict[tuple, VFResult] = {}
     for (n_poles, vf_kernel, _), keys in batches.items():
         datasets = [bases[key].data for key in keys]
-        results = fit_many(
-            datasets[0].omega,
-            [data.samples for data in datasets],
-            options=VFOptions(n_poles=n_poles, kernel=vf_kernel),
-        )
+        obs.incr("campaign.prefit_groups", len(keys))
+        with obs.span("campaign:prefit", n_groups=len(keys)):
+            results = fit_many(
+                datasets[0].omega,
+                [data.samples for data in datasets],
+                options=VFOptions(n_poles=n_poles, kernel=vf_kernel),
+            )
+        obs.incr("campaign.prefit_fits", len(results))
         for key, result in zip(keys, results):
             prefits[key] = result
         _LOG.info(
@@ -553,6 +583,7 @@ def run_campaign(
     name: str | None = None,
     share_fits: bool = True,
     blas_threads: int | None = None,
+    telemetry_dir: str | None = None,
 ) -> CampaignResult:
     """Execute a campaign: expand, (optionally) resume, dispatch, record.
 
@@ -587,7 +618,62 @@ def run_campaign(
     blas_threads:
         Per-worker BLAS/OpenMP thread budget for pooled execution;
         default ``cpu_count // jobs``.  Serial runs are never capped.
+    telemetry_dir:
+        When set, each scenario records a telemetry session (sidecar
+        ``events-*.jsonl`` per worker process, summary merged into its
+        registry record) and the dispatcher writes campaign-level
+        ``run_metrics.json`` + ``metrics.prom`` into this directory.
     """
+    if telemetry_dir is not None:
+        with telemetry_session(
+            telemetry_dir, label="campaign", kind="campaign",
+            write_metrics=False,
+        ) as tel:
+            result = _run_campaign_impl(
+                spec, registry=registry, cache=cache, scenarios=scenarios,
+                jobs=jobs, resume=resume,
+                worker_log_level=worker_log_level, name=name,
+                share_fits=share_fits, blas_threads=blas_threads,
+                telemetry_dir=telemetry_dir,
+            )
+            runs = [
+                {
+                    "run_id": record.get("run_id"),
+                    "seconds": record.get("duration_s"),
+                    "snapshot": record.get("telemetry"),
+                }
+                for record in result.records
+            ]
+            payload = build_campaign_metrics(
+                tel, runs,
+                extra={"campaign": result.campaign,
+                       "wall_time_s": result.wall_time_s},
+            )
+            write_metrics_files(
+                telemetry_dir, tel, kind="campaign", payload=payload
+            )
+        return result
+    return _run_campaign_impl(
+        spec, registry=registry, cache=cache, scenarios=scenarios,
+        jobs=jobs, resume=resume, worker_log_level=worker_log_level,
+        name=name, share_fits=share_fits, blas_threads=blas_threads,
+    )
+
+
+def _run_campaign_impl(
+    spec: CampaignSpec | list[ScenarioSpec],
+    *,
+    registry: CampaignRegistry | None = None,
+    cache: FlowCache | str | None = None,
+    scenarios: list[ScenarioSpec] | None = None,
+    jobs: int = 1,
+    resume: bool = False,
+    worker_log_level: int | None = None,
+    name: str | None = None,
+    share_fits: bool = True,
+    blas_threads: int | None = None,
+    telemetry_dir: str | None = None,
+) -> CampaignResult:
     if isinstance(spec, CampaignSpec):
         campaign_name = name or spec.name
         if scenarios is None:
@@ -671,10 +757,16 @@ def run_campaign(
             return None
         return prefits.get(_standard_fit_key(scenario))
 
+    active_tel = obs.active()
     if jobs <= 1 or len(todo) <= 1:
+        if active_tel is not None:
+            active_tel.meta.setdefault("blas", {
+                "jobs": jobs, "blas_threads": None, "method": "uncapped",
+            })
         for scenario in todo:
             _finish(*execute_scenario(
-                scenario, cache_dir, _prefit(scenario), stage_store
+                scenario, cache_dir, _prefit(scenario), stage_store,
+                telemetry_dir,
             ))
     else:
         max_workers = min(jobs, len(todo))
@@ -682,6 +774,12 @@ def run_campaign(
             blas_threads if blas_threads is not None
             else default_blas_threads(max_workers)
         )
+        if active_tel is not None:
+            active_tel.meta.setdefault("blas", {
+                "jobs": max_workers,
+                "blas_threads": worker_blas,
+                "method": "worker-init",
+            })
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_worker_init,
@@ -690,7 +788,7 @@ def run_campaign(
             pending = {
                 pool.submit(
                     execute_scenario, scenario, cache_dir,
-                    _prefit(scenario), stage_store,
+                    _prefit(scenario), stage_store, telemetry_dir,
                 ): scenario
                 for scenario in todo
             }

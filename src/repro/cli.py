@@ -26,6 +26,12 @@ Four subcommands cover the practical workflow:
     the flow on every scenario in parallel with content-addressed caching,
     and write a result registry plus summary report.
 
+``trace``
+    Render the telemetry of a completed run (``--telemetry DIR`` on
+    ``fit``/``flow``/``campaign`` records it): solver convergence
+    trajectories, per-stage/per-kernel time breakdowns, cache hit/miss
+    counters, and campaign rollups.
+
 Every subcommand executes through the composable pipeline engine of
 :mod:`repro.api`; the ingest/termination flags are registered once on
 shared parent parsers, so ``fit``, ``flow`` and ``campaign`` can never
@@ -137,7 +143,25 @@ def _repro_config(args: argparse.Namespace) -> ReproConfig:
 
 def _observers(args: argparse.Namespace) -> list:
     """Pipeline event observers implied by the flags (``--profile``)."""
-    return [ConsoleObserver()] if getattr(args, "profile", False) else []
+    # Stream explicitly to stdout: the observer's logger default is for
+    # library embedders; --profile output must not need logging setup.
+    return (
+        [ConsoleObserver(sys.stdout)] if getattr(args, "profile", False)
+        else []
+    )
+
+
+def _with_telemetry(args: argparse.Namespace, label: str, func) -> int:
+    """Run ``func(args)`` inside a telemetry session when --telemetry is set."""
+    directory = getattr(args, "telemetry", None)
+    if directory is None:
+        return func(args)
+    from repro.obs import telemetry_session
+
+    with telemetry_session(directory, label=label, kind="flow"):
+        code = func(args)
+    print(f"telemetry     : {Path(directory) / 'run_metrics.json'}")
+    return code
 
 
 def _observe_port(args: argparse.Namespace) -> int:
@@ -193,6 +217,10 @@ def _run_flow_outputs(args: argparse.Namespace, data, termination, out: Path) ->
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
+    return _with_telemetry(args, "fit", _cmd_fit_impl)
+
+
+def _cmd_fit_impl(args: argparse.Namespace) -> int:
     out = Path(args.output_dir)
     out.mkdir(parents=True, exist_ok=True)
     try:
@@ -238,7 +266,18 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     """``flow`` is ``fit`` with --termination mandatory (argparse enforces
     the flag, so the shared implementation always takes the full-flow
     branch)."""
-    return _cmd_fit(args)
+    return _with_telemetry(args, "flow", _cmd_fit_impl)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_trace
+
+    try:
+        print(render_trace(args.run_dir), end="")
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _external_overrides(args: argparse.Namespace) -> dict:
@@ -345,6 +384,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         worker_log_level=_log_level(args),
         share_fits=not args.no_shared_fits,
         blas_threads=args.blas_threads,
+        telemetry_dir=args.telemetry,
     )
     report = campaign_report(result)
     (out / "report.txt").write_text(report + "\n", encoding="utf-8")
@@ -374,6 +414,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"registry      : {out}")
     if cache is not None:
         print(f"cache         : {cache.root} ({len(cache)} entries)")
+    if args.telemetry is not None:
+        print(
+            f"telemetry     : {Path(args.telemetry) / 'run_metrics.json'}"
+        )
     return 0 if result.n_failed == 0 else 3
 
 
@@ -484,6 +528,18 @@ def _termination_parent(*, required: bool) -> argparse.ArgumentParser:
     return parent
 
 
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Shared parent parser: the --telemetry flag of fit/flow/campaign."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="record telemetry (structured solver/cache events) into DIR: "
+        "per-process events-*.jsonl streams plus run_metrics.json and a "
+        "Prometheus-style metrics.prom; render with 'repro trace DIR'",
+    )
+    return parent
+
+
 def _flow_parent() -> argparse.ArgumentParser:
     """Shared parent parser: pipeline-configuration flags of fit/flow."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -537,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ingest_parent = _ingest_parent()
     flow_parent = _flow_parent()
+    telemetry_parent = _telemetry_parent()
 
     p_fit = sub.add_parser(
         "fit",
@@ -549,7 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sensitivity-weighted passivity-enforcement flow runs on the "
         "external data.",
         parents=[ingest_parent, _termination_parent(required=False),
-                 flow_parent],
+                 flow_parent, telemetry_parent],
     )
     p_fit.add_argument("data", help="input .sNp file")
     p_fit.add_argument("--output-dir", default="fit")
@@ -559,7 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
         "flow",
         help="run the full paper pipeline",
         parents=[ingest_parent, _termination_parent(required=True),
-                 flow_parent],
+                 flow_parent, telemetry_parent],
     )
     p_flow.add_argument("data", help="input .sNp file")
     p_flow.add_argument("--output-dir", default="flow")
@@ -573,7 +630,8 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario, in parallel, with content-addressed caching and an "
         "on-disk result registry.  The shared ingest/termination flags "
         "override the data_* knobs of external-data scenarios.",
-        parents=[ingest_parent, _termination_parent(required=False)],
+        parents=[ingest_parent, _termination_parent(required=False),
+                 telemetry_parent],
     )
     p_camp.add_argument("spec", help="campaign spec JSON file")
     p_camp.add_argument(
@@ -621,6 +679,22 @@ def build_parser() -> argparse.ArgumentParser:
         "breakdown (check vs. QP vs. model rebuild)",
     )
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="render a recorded run's telemetry (convergence, timings)",
+        description="Render the telemetry recorded by --telemetry DIR: "
+        "per-iteration solver convergence trajectories, per-stage and "
+        "per-kernel wall-time breakdowns, cache hit/miss counters, and "
+        "campaign-level rollups.  RUN_DIR may be the telemetry directory "
+        "itself, an output directory containing telemetry/, or a campaign "
+        "registry directory.",
+    )
+    p_trace.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="telemetry directory, output directory, or campaign registry",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -1,0 +1,45 @@
+"""Telemetry subsystem: hierarchical spans, convergence events, metrics.
+
+See :mod:`repro.obs.telemetry` for the recording surface,
+:mod:`repro.obs.metrics` for the ``run_metrics.json`` / Prometheus
+artifacts, and :mod:`repro.obs.trace` for the ``repro trace`` renderer.
+"""
+
+from repro.obs.metrics import (
+    METRICS_FORMAT,
+    build_campaign_metrics,
+    build_run_metrics,
+    prometheus_exposition,
+    write_metrics_files,
+)
+from repro.obs.telemetry import (
+    Telemetry,
+    active,
+    emit,
+    gauge,
+    incr,
+    next_seq,
+    session,
+    span,
+    telemetry_session,
+)
+from repro.obs.trace import load_trace_payload, render_trace
+
+__all__ = [
+    "METRICS_FORMAT",
+    "Telemetry",
+    "active",
+    "build_campaign_metrics",
+    "build_run_metrics",
+    "emit",
+    "gauge",
+    "incr",
+    "load_trace_payload",
+    "next_seq",
+    "prometheus_exposition",
+    "render_trace",
+    "session",
+    "span",
+    "telemetry_session",
+    "write_metrics_files",
+]

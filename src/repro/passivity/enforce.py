@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import telemetry as obs
 from repro.passivity.check import PassivityReport
 from repro.passivity.cost import BlockDiagonalCost
 from repro.passivity.engine import CheckerOptions, PassivityChecker
@@ -162,6 +163,7 @@ def enforce_passivity(
     options: EnforcementOptions | None = None,
     *,
     initial_report: PassivityReport | None = None,
+    cost_label: str = "standard",
 ) -> EnforcementResult:
     """Perturb residues until the scattering model is passive.
 
@@ -183,6 +185,9 @@ def enforce_passivity(
         :func:`repro.passivity.check.check_passivity` with the same
         ``band_samples``); skips the redundant iteration-0 check when the
         caller already ran one.
+    cost_label:
+        Tag identifying which cost this run minimizes (``"standard"`` /
+        ``"weighted"``) in telemetry convergence events.
     """
     options = options or EnforcementOptions()
     if cost.n_ports != model.n_ports:
@@ -208,6 +213,17 @@ def enforce_passivity(
         checker.seed(report_before)  # warm-start the sampling grid
     report = report_before
     report_is_exact = True
+    # Iteration 0 of the worst-sigma trajectory: the unperturbed model.
+    obs.emit(
+        "enforce.iteration",
+        cost=cost_label,
+        iteration=0,
+        worst_sigma=report_before.worst_sigma,
+        n_bands=len(report_before.bands),
+        n_constraints=0,
+        working_set=0,
+        mode="initial",
+    )
     current = model
     total_delta = np.zeros(
         (model.n_ports, model.n_ports, model.element_state_dimension())
@@ -226,9 +242,10 @@ def enforce_passivity(
         constraint_s = time.perf_counter() - tic
 
         tic = time.perf_counter()
-        solution = solve_block_qp(
-            cost, constraints, dual_ridge=options.dual_ridge
-        )
+        with obs.span("kernel:qp_solve", n_constraints=constraints.n_constraints):
+            solution = solve_block_qp(
+                cost, constraints, dual_ridge=options.dual_ridge
+            )
         qp_s = time.perf_counter() - tic
 
         tic = time.perf_counter()
@@ -279,6 +296,21 @@ def enforce_passivity(
             rebuild_seconds=rebuild_s,
         )
         history.append(record)
+        obs.incr("enforce.iterations")
+        obs.emit(
+            "enforce.iteration",
+            cost=cost_label,
+            iteration=iterations,
+            worst_sigma=report.worst_sigma,
+            n_bands=len(report.bands),
+            n_constraints=constraints.n_constraints,
+            working_set=int(np.count_nonzero(solution.dual)),
+            mode=mode,
+            check_seconds=check_s,
+            constraint_seconds=constraint_s,
+            qp_seconds=qp_s,
+            rebuild_seconds=rebuild_s,
+        )
         _LOG.info(
             "enforcement iter %d: worst sigma %.8f (%d bands, %d constraints, "
             "%s check)",
@@ -294,6 +326,13 @@ def enforce_passivity(
         # an exact Hamiltonian certificate.
         report = checker.check_exact(current)
 
+    obs.emit(
+        "enforce.finish",
+        cost=cost_label,
+        iterations=iterations,
+        converged=_is_passive(report, options),
+        worst_sigma=report.worst_sigma,
+    )
     return EnforcementResult(
         model=current,
         converged=_is_passive(report, options),

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import telemetry as obs
 from repro.passivity.check import (
     PassivityReport,
     _sigma_max,
@@ -183,12 +184,14 @@ class PassivityChecker:
         """
         self._validate(model)
         self.n_exact_checks += 1
+        obs.incr("checker.exact_checks")
         if self._asymptotic >= 1.0:
             return asymptotic_violation_report(model, self._asymptotic)
         m = hamiltonian_from_invariants(
             self._invariants, model.full_output_matrix()
         )
-        crossings = imaginary_crossings(m, model.frequency_response, 1.0)
+        with obs.span("kernel:hamiltonian_eig", n=int(m.shape[0])):
+            crossings = imaginary_crossings(m, model.frequency_response, 1.0)
         report = report_from_crossings(
             model,
             crossings,
@@ -213,9 +216,12 @@ class PassivityChecker:
         """
         self._validate(model)
         self.n_sampling_checks += 1
+        obs.incr("checker.sampling_checks")
         if self._asymptotic >= 1.0:
             return asymptotic_violation_report(model, self._asymptotic)
         omega = self.seed_grid()
+        seed_size = int(omega.size)
+        stages_run = 0
         sigma = _sigma_max(model, omega)
         for _ in range(self.options.refine_stages):
             if omega.size >= self.options.max_grid_points:
@@ -223,6 +229,7 @@ class PassivityChecker:
             fresh = self._refinement_points(omega, sigma)
             if fresh.size == 0:
                 break
+            stages_run += 1
             sigma_fresh = _sigma_max(model, fresh)
             omega = np.concatenate([omega, fresh])
             sigma = np.concatenate([sigma, sigma_fresh])
@@ -230,6 +237,13 @@ class PassivityChecker:
             omega, sigma = omega[order], sigma[order]
         worst = int(np.argmax(sigma))
         bands = bands_from_sigma_samples(omega, sigma)
+        obs.emit(
+            "checker.sampling",
+            seed_grid=seed_size,
+            final_grid=int(omega.size),
+            stages=stages_run,
+            violations=len(bands),
+        )
         report = PassivityReport(
             is_passive=not bands and float(sigma[worst]) <= 1.0,
             worst_sigma=float(sigma[worst]),

@@ -19,16 +19,32 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(f"{_ROOT_NAME}.{name}")
 
 
+#: Attribute tag marking the handler this module installed.  Deduping on
+#: the tag (not ``isinstance(h, logging.StreamHandler)``) matters because
+#: ``FileHandler`` subclasses ``StreamHandler``: an isinstance check would
+#: treat a user's file handler as "console already attached" and silently
+#: never add one.
+_CONSOLE_TAG = "_repro_console_handler"
+
+
 def enable_console_logging(level: int = logging.INFO) -> None:
     """Attach a simple console handler to the package root logger.
 
-    Convenience for examples and benchmarks; safe to call repeatedly.
+    Convenience for examples and benchmarks; safe to call repeatedly --
+    repeated calls update the level of the existing handler instead of
+    stacking duplicates, and handlers installed by the embedding
+    application (file handlers included) are left alone.
     """
     root = logging.getLogger(_ROOT_NAME)
     root.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
-        handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
-        )
-        root.addHandler(handler)
+    for handler in root.handlers:
+        if getattr(handler, _CONSOLE_TAG, False):
+            handler.setLevel(level)
+            return
+    handler = logging.StreamHandler()
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    setattr(handler, _CONSOLE_TAG, True)
+    root.addHandler(handler)

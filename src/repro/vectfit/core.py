@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import telemetry as obs
 from repro.statespace.poleresidue import PoleResidueModel, _analyse_pole_structure
 from repro.util.logging import get_logger
 from repro.util.validation import check_frequency_grid, check_square_stack
@@ -738,6 +739,7 @@ class _FitState:
     compress_weights: np.ndarray
     iterations: int = 0
     converged: bool = False
+    index: int = 0
 
     @property
     def active(self) -> bool:
@@ -840,12 +842,16 @@ def fit_many(
                 history=[poles0.copy()],
                 compress_responses=compress_responses,
                 compress_weights=compress_weights,
+                index=len(states),
             )
         )
     if len(states) < len(alias):
         _LOG.debug(
             "fit_many: %d set(s), %d unique", len(alias), len(states)
         )
+    # Telemetry batch number: distinguishes this fit_many call's
+    # trajectories from other calls in the same run (refinement rounds).
+    batch = obs.next_seq("vf.batch")
 
     for iteration in range(options.n_iterations):
         active = [state for state in states if state.active]
@@ -857,31 +863,42 @@ def fit_many(
         for state in active:
             groups.setdefault(state.poles.tobytes(), []).append(state)
         for members in groups.values():
-            poles = members[0].poles
-            phi = _basis(omega, poles)
-            phi_scale, sigma_scale = _sigma_scales(phi, k, options)
-            phi_scaled = phi / phi_scale
-            compress = (
-                _sigma_compress_batched
-                if options.kernel == "batched"
-                else _sigma_compress_reference
-            )
-            for state in members:
-                rows, rhs_rows = compress(
-                    state.compress_responses, state.compress_weights,
-                    phi_scaled, sigma_scale, options,
+            with obs.span("kernel:vf.relocate", n_sets=len(members)):
+                poles = members[0].poles
+                phi = _basis(omega, poles)
+                phi_scale, sigma_scale = _sigma_scales(phi, k, options)
+                phi_scaled = phi / phi_scale
+                compress = (
+                    _sigma_compress_batched
+                    if options.kernel == "batched"
+                    else _sigma_compress_reference
                 )
-                new_poles = _solve_sigma_poles(
-                    rows, rhs_rows, phi, phi_scale, sigma_scale,
-                    state.responses, state.weight_table, state.poles,
-                    omega, options,
-                )
-                change = _pole_change(state.poles, new_poles)
-                state.poles = new_poles
-                state.history.append(new_poles.copy())
-                state.iterations = iteration + 1
-                if change < options.pole_convergence_tol:
-                    state.converged = True
+                for state in members:
+                    rows, rhs_rows = compress(
+                        state.compress_responses, state.compress_weights,
+                        phi_scaled, sigma_scale, options,
+                    )
+                    new_poles = _solve_sigma_poles(
+                        rows, rhs_rows, phi, phi_scale, sigma_scale,
+                        state.responses, state.weight_table, state.poles,
+                        omega, options,
+                    )
+                    change = _pole_change(state.poles, new_poles)
+                    state.poles = new_poles
+                    state.history.append(new_poles.copy())
+                    state.iterations = iteration + 1
+                    if change < options.pole_convergence_tol:
+                        state.converged = True
+                    obs.incr("vf.iterations")
+                    obs.emit(
+                        "vf.iteration",
+                        batch=batch,
+                        set=state.index,
+                        iteration=state.iterations,
+                        n_poles=int(state.poles.size),
+                        pole_change=change,
+                        converged=state.converged,
+                    )
 
     results = []
     for state in states:
@@ -890,13 +907,23 @@ def fit_many(
             state.iterations,
             state.converged,
         )
-        results.append(
-            _characterize(
+        with obs.span("kernel:vf.residues", set=state.index):
+            result = _characterize(
                 omega, state.samples, state.responses, state.weight_table,
                 state.poles, options, state.iterations, state.converged,
                 state.history,
             )
+        obs.incr("vf.fits")
+        obs.emit(
+            "vf.fit",
+            batch=batch,
+            set=state.index,
+            iterations=state.iterations,
+            converged=state.converged,
+            rms_error=result.rms_error,
+            weighted_rms_error=result.weighted_rms_error,
         )
+        results.append(result)
     # Duplicated inputs share one (immutable) result object.
     return [results[index] for index in alias]
 

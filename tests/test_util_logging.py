@@ -21,15 +21,49 @@ class TestGetLogger:
         assert child.name.startswith(root.name)
 
 
+def _console_handlers(root):
+    return [
+        h for h in root.handlers
+        if getattr(h, "_repro_console_handler", False)
+    ]
+
+
 class TestEnableConsoleLogging:
+    def setup_method(self):
+        root = logging.getLogger("repro")
+        for handler in _console_handlers(root):
+            root.removeHandler(handler)
+
+    teardown_method = setup_method
+
     def test_adds_single_handler(self):
         root = logging.getLogger("repro")
-        before = [h for h in root.handlers if isinstance(h, logging.StreamHandler)]
         enable_console_logging()
         enable_console_logging()  # idempotent
-        after = [h for h in root.handlers if isinstance(h, logging.StreamHandler)]
-        assert len(after) <= len(before) + 1
+        assert len(_console_handlers(root)) == 1
 
     def test_level_applied(self):
         enable_console_logging(logging.WARNING)
         assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_repeated_call_updates_handler_level(self):
+        root = logging.getLogger("repro")
+        enable_console_logging(logging.INFO)
+        enable_console_logging(logging.DEBUG)
+        handlers = _console_handlers(root)
+        assert len(handlers) == 1
+        assert handlers[0].level == logging.DEBUG
+
+    def test_file_handler_does_not_suppress_console(self, tmp_path):
+        # FileHandler subclasses StreamHandler; an isinstance-based dedup
+        # would see it and skip installing the console handler entirely.
+        root = logging.getLogger("repro")
+        file_handler = logging.FileHandler(tmp_path / "repro.log")
+        root.addHandler(file_handler)
+        try:
+            enable_console_logging()
+            assert len(_console_handlers(root)) == 1
+            assert file_handler in root.handlers
+        finally:
+            root.removeHandler(file_handler)
+            file_handler.close()
