@@ -23,6 +23,9 @@ Public API tour
   content-addressed caching and an on-disk result registry.
 * :mod:`repro.ingest` -- external Touchstone data conditioning and
   generic termination construction for arbitrary multiport networks.
+* :mod:`repro.resilience` -- typed error taxonomy, campaign retry
+  policy, NaN/Inf stage guards, and the deterministic fault-injection
+  harness behind the solver fallback ladders.
 * :mod:`repro.timedomain` -- transient droop simulation of the loaded
   macromodel.
 """
@@ -57,6 +60,7 @@ from repro.passivity.check import check_passivity
 from repro.passivity.enforce import EnforcementOptions, enforce_passivity
 from repro.passivity.engine import CheckerOptions, PassivityChecker
 from repro.pdn.termination import TerminationNetwork
+from repro.resilience import ReproError, RetryPolicy
 from repro.pdn.testcase import (
     PDNTestCase,
     make_paper_testcase,
@@ -101,6 +105,8 @@ __all__ = [
     "EnforcementOptions",
     "enforce_passivity",
     "TerminationNetwork",
+    "ReproError",
+    "RetryPolicy",
     "PDNTestCase",
     "make_paper_testcase",
     "make_variant_testcase",

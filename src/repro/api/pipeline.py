@@ -37,6 +37,7 @@ from repro.api.artifacts import ArtifactStore
 from repro.api.config import ReproConfig
 from repro.api.stages import PipelineStage, standard_stages
 from repro.obs import telemetry as obs
+from repro.resilience.guards import ensure_finite_outputs
 from repro.util.logging import get_logger
 
 _LOG = get_logger(__name__)
@@ -348,9 +349,20 @@ class Pipeline:
                     }
                     for spec in stage.inputs:
                         spec.check(inputs[spec.name])
-                    execution, values = self._resolve(
-                        stage, config, inputs, started
-                    )
+                    try:
+                        execution, values = self._resolve(
+                            stage, config, inputs, started
+                        )
+                    except Exception as exc:
+                        # Tag the failing stage so campaign failure
+                        # records can name it even for exceptions
+                        # raised deep inside solver code.
+                        if getattr(exc, "repro_stage", None) is None:
+                            try:
+                                exc.repro_stage = stage.name
+                            except AttributeError:
+                                pass  # slotted exception; keep original
+                        raise
                     state.update(values)
             executions.append(execution)
             obs.incr(f"pipeline.stages_{execution.status}")
@@ -395,6 +407,12 @@ class Pipeline:
                 )
             for spec in stage.outputs:
                 spec.check(values[spec.name])
+            # Boundary guard *before* the store write: a stage emitting
+            # NaN/Inf fails here with a typed error naming the stage,
+            # and the poisoned artifacts never enter the cache.
+            ensure_finite_outputs(
+                stage.name, {name: values[name] for name in out_names}
+            )
             if store_this and key is not None:
                 self.store.put(key, {name: values[name] for name in out_names})
         values = {name: values[name] for name in out_names}

@@ -286,14 +286,24 @@ class IngestStage(PipelineStage):
 
     def run(self, config: ReproConfig, inputs: dict) -> dict:
         from repro.ingest import build_termination, load_network
+        from repro.resilience.errors import IngestError
 
-        data, report = load_network(self.source, config.ingest)
-        termination = build_termination(
-            self.termination,
-            data.n_ports,
-            observe_port=self.observe_port,
-            default_z0=data.z0,
-        )
+        try:
+            data, report = load_network(self.source, config.ingest)
+            termination = build_termination(
+                self.termination,
+                data.n_ports,
+                observe_port=self.observe_port,
+                default_z0=data.z0,
+            )
+        except IngestError:
+            raise
+        except (OSError, ValueError) as exc:
+            # Typed boundary: parse and conditioning failures carry the
+            # "ingest" error code into run records and telemetry.
+            raise IngestError(
+                f"failed to ingest {self.source}: {exc}", stage="ingest"
+            ) from exc
         return {
             "network": data,
             "termination": termination,

@@ -38,6 +38,7 @@ import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -52,6 +53,9 @@ from repro.flow.metrics import accuracy_table
 from repro.obs import telemetry as obs
 from repro.obs.metrics import build_campaign_metrics, write_metrics_files
 from repro.obs.telemetry import telemetry_session
+from repro.resilience import faultinject
+from repro.resilience.errors import error_code_of, stage_of
+from repro.resilience.retry import RetryPolicy
 from repro.statespace.poleresidue import PoleResidueModel
 from repro.util.logging import enable_console_logging, get_logger
 from repro.vectfit.core import VFResult, fit_many
@@ -163,6 +167,7 @@ def execute_scenario(
     standard_fit: VFResult | None = None,
     stage_store: str | None = None,
     telemetry_dir: str | None = None,
+    attempt: int = 0,
 ) -> tuple[dict, PoleResidueModel | None]:
     """Run one scenario end-to-end; never raises.
 
@@ -176,10 +181,15 @@ def execute_scenario(
     opens a per-run telemetry session whose events stream to a sidecar
     ``events-scenario-<run_id>-<pid>.jsonl`` file in that directory and
     whose summary rides along in ``record["telemetry"]`` (merged into
-    the registry record and the campaign-level metrics).  Returns
+    the registry record and the campaign-level metrics).  ``attempt`` is
+    the dispatcher's 0-based retry counter: recorded in the run record
+    and published to the fault-injection harness so attempt-pinned
+    faults stay deterministic across pool respawns.  Returns
     ``(record, model)`` where ``record`` is JSON-compatible and ``model``
     is the passive weighted-cost macromodel (``None`` when the scenario
-    failed).
+    failed).  Failed records carry a machine-readable ``error_code``
+    (from the :mod:`repro.resilience.errors` taxonomy), the
+    ``failed_stage`` that raised, and the full ``traceback``.
     """
     if telemetry_dir is not None:
         with telemetry_session(
@@ -189,11 +199,14 @@ def execute_scenario(
             write_metrics=False,
         ) as tel:
             record, model = execute_scenario(
-                scenario, cache_dir, standard_fit, stage_store
+                scenario, cache_dir, standard_fit, stage_store,
+                attempt=attempt,
             )
             record["telemetry"] = tel.snapshot()
         return record, model
 
+    faultinject.set_attempt(attempt)
+    faultinject.set_scenario(scenario.run_id)
     started = time.perf_counter()
     record: dict = {
         "run_id": scenario.run_id,
@@ -203,13 +216,16 @@ def execute_scenario(
         "cache_hit": False,
         "error": None,
         "metrics": None,
+        "attempt": attempt,
         "environment": {
             "blas_thread_limit": _WORKER_BLAS_LIMIT,
             "blas_limit_method": _WORKER_BLAS_METHOD,
             "shared_standard_fit": standard_fit is not None,
         },
     }
+    boundary = "testcase"
     try:
+        faultinject.check("scenario.run")
         build_start = time.perf_counter()
         testcase = scenario.build_testcase()
         observe_port = scenario.resolve_observe_port(testcase)
@@ -251,6 +267,7 @@ def execute_scenario(
                 _LOG.info("run %s: cache hit (%s)", record["run_id"], key[:12])
                 return record, cached.model
 
+        boundary = "flow"
         flow_start = time.perf_counter()
         # The flow cache above already makes whole runs resumable, so the
         # per-stage store is restricted to the one stage whose sharing
@@ -303,9 +320,18 @@ def execute_scenario(
         record["error"] = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
+        record["error_code"] = error_code_of(exc)
+        record["failed_stage"] = stage_of(exc) or boundary
         record["traceback"] = traceback.format_exc()
         record["timings"] = {"total_s": time.perf_counter() - started}
-        _LOG.warning("run %s: failed: %s", record["run_id"], record["error"])
+        obs.incr(f"campaign.errors.{record['error_code']}")
+        _LOG.warning(
+            "run %s: failed in stage %s [%s]: %s",
+            record["run_id"],
+            record["failed_stage"],
+            record["error_code"],
+            record["error"],
+        )
         return record, None
     finally:
         record["duration_s"] = time.perf_counter() - started
@@ -363,6 +389,232 @@ def _worker_init(log_level: int | None, blas_limit: int | None) -> None:
     if blas_limit is not None:
         _WORKER_BLAS_LIMIT = blas_limit
         _WORKER_BLAS_METHOD = limit_blas_threads(blas_limit)
+
+
+def _run_pool(
+    todo: list[ScenarioSpec],
+    policy: RetryPolicy,
+    max_workers: int,
+    worker_log_level: int | None,
+    worker_blas: int | None,
+    cache_dir: str | None,
+    prefit,
+    stage_store: str | None,
+    telemetry_dir: str | None,
+    budget_ok,
+    note_retry,
+    finalize,
+    failed_record,
+) -> None:
+    """Pooled dispatch engine with deadlines, crash recovery and backoff.
+
+    Three failure channels are distinguished:
+
+    * an *in-worker* exception returns a ``status="failed"`` record
+      (``execute_scenario`` never raises) -- retried per the policy;
+    * a *worker crash* (the process died: OOM kill, segfault, injected
+      ``os._exit``) surfaces as :class:`BrokenProcessPool` on every
+      in-flight future.  Futures that already carry results are
+      salvaged, the pool is respawned, and each lost scenario is
+      requeued once more than ``max_retries`` allows for plain failures
+      (``error_code="worker_crash"`` when the allowance is exhausted);
+    * a *wall-clock timeout* (``policy.timeout_s``): the pool offers no
+      per-task kill, so the whole pool is respawned; innocent in-flight
+      scenarios resubmit at the same attempt, the expired scenario is
+      requeued (``error_code="stage_timeout"`` once its allowance is
+      exhausted).
+
+    Retries re-enter through a ``waiting`` queue ordered by their
+    deterministic backoff due-times, so the schedule is a pure function
+    of run ids and attempt numbers.
+    """
+    pool = ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_worker_init,
+        initargs=(worker_log_level, worker_blas),
+    )
+    pending: dict = {}  # future -> (scenario, attempt, deadline)
+    waiting: list[tuple[float, ScenarioSpec, int]] = []  # (due, ...)
+    timeout_counts: dict[str, int] = {}
+    crash_counts: dict[str, int] = {}
+    # Crashes and timeouts are external events, not model divergence:
+    # even a no-retry policy grants them one requeue.
+    requeue_allowance = max(1, policy.max_retries)
+
+    def _submit(scenario: ScenarioSpec, attempt: int) -> None:
+        deadline = (
+            time.monotonic() + policy.timeout_s
+            if policy.timeout_s is not None
+            else None
+        )
+        future = pool.submit(
+            execute_scenario, scenario, cache_dir, prefit(scenario),
+            stage_store, telemetry_dir, attempt,
+        )
+        pending[future] = (scenario, attempt, deadline)
+
+    def _respawn() -> None:
+        nonlocal pool
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # noqa: BLE001 -- already-dead processes
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_worker_init,
+            initargs=(worker_log_level, worker_blas),
+        )
+
+    def _requeue_or_fail(
+        scenario: ScenarioSpec, attempt: int, error_code: str,
+        message: str, counter: str, counts: dict[str, int],
+    ) -> None:
+        run_id = scenario.run_id
+        counts[run_id] = counts.get(run_id, 0) + 1
+        if counts[run_id] <= requeue_allowance and budget_ok():
+            backoff = policy.backoff_s(run_id, attempt + 1)
+            note_retry(
+                run_id, attempt, error_code, message, "campaign", backoff
+            )
+            obs.incr(counter)
+            waiting.append(
+                (time.monotonic() + backoff, scenario, attempt + 1)
+            )
+            _LOG.warning(
+                "run %s: %s; requeued with %.2fs backoff",
+                run_id, message, backoff,
+            )
+        else:
+            finalize(
+                failed_record(scenario, attempt, error_code, message),
+                None, attempt,
+            )
+
+    def _handle_result(
+        scenario: ScenarioSpec, attempt: int, record: dict, model
+    ) -> None:
+        if (
+            record["status"] == "failed"
+            and attempt < policy.max_retries
+            and budget_ok()
+        ):
+            backoff = policy.backoff_s(scenario.run_id, attempt + 1)
+            note_retry(
+                scenario.run_id, attempt, record.get("error_code"),
+                record.get("error"), record.get("failed_stage"), backoff,
+            )
+            waiting.append(
+                (time.monotonic() + backoff, scenario, attempt + 1)
+            )
+            _LOG.warning(
+                "run %s: attempt %d failed [%s]; requeued in %.2fs",
+                scenario.run_id, attempt + 1,
+                record.get("error_code"), backoff,
+            )
+        else:
+            finalize(record, model, attempt)
+
+    try:
+        for scenario in todo:
+            _submit(scenario, 0)
+        while pending or waiting:
+            now = time.monotonic()
+            due = [item for item in waiting if item[0] <= now]
+            if due:
+                waiting[:] = [item for item in waiting if item[0] > now]
+                for _, scenario, attempt in due:
+                    _submit(scenario, attempt)
+            if not pending:
+                # Everything is backing off; sleep until the next retry.
+                next_due = min(item[0] for item in waiting)
+                time.sleep(max(0.0, next_due - time.monotonic()))
+                continue
+            timeout = None
+            candidates = [
+                deadline - now
+                for (_, _, deadline) in pending.values()
+                if deadline is not None
+            ]
+            if waiting:
+                candidates.append(min(item[0] for item in waiting) - now)
+            if candidates:
+                timeout = max(0.0, min(candidates))
+            done, _ = wait(
+                list(pending), timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+
+            crash_victims: list[tuple[ScenarioSpec, int]] = []
+            for future in done:
+                entry = pending.pop(future, None)
+                if entry is None:
+                    continue
+                scenario, attempt, _deadline = entry
+                try:
+                    record, model = future.result()
+                except BrokenProcessPool:
+                    crash_victims.append((scenario, attempt))
+                    continue
+                except Exception as exc:  # noqa: BLE001 -- dispatch error
+                    record = failed_record(
+                        scenario, attempt, error_code_of(exc),
+                        f"dispatch failed: {exc!r}",
+                    )
+                    _handle_result(scenario, attempt, record, None)
+                    continue
+                _handle_result(scenario, attempt, record, model)
+            if crash_victims:
+                # The pool is broken; every other in-flight future is
+                # lost too.  Salvage completed results, requeue the rest.
+                for future in list(pending):
+                    scenario, attempt, _deadline = pending.pop(future)
+                    if future.done() and future.exception() is None:
+                        record, model = future.result()
+                        _handle_result(scenario, attempt, record, model)
+                    else:
+                        crash_victims.append((scenario, attempt))
+                _respawn()
+                obs.incr("campaign.worker_crashes", len(crash_victims))
+                for scenario, attempt in crash_victims:
+                    _requeue_or_fail(
+                        scenario, attempt, "worker_crash",
+                        "worker process crashed",
+                        "retry.requeued_after_crash", crash_counts,
+                    )
+                continue
+
+            if policy.timeout_s is None:
+                continue
+            now = time.monotonic()
+            victims = [
+                (future, scenario, attempt)
+                for future, (scenario, attempt, deadline) in pending.items()
+                if deadline is not None and deadline <= now
+            ]
+            if not victims:
+                continue
+            victim_futures = {future for future, _, _ in victims}
+            survivors = [
+                (scenario, attempt)
+                for future, (scenario, attempt, _d) in pending.items()
+                if future not in victim_futures
+            ]
+            pending.clear()
+            _respawn()
+            obs.incr("retry.timeouts", len(victims))
+            for scenario, attempt in survivors:
+                _submit(scenario, attempt)
+            for _future, scenario, attempt in victims:
+                _requeue_or_fail(
+                    scenario, attempt, "stage_timeout",
+                    f"scenario exceeded the {policy.timeout_s:g}s "
+                    "wall-clock budget",
+                    "retry.requeued_after_timeout", timeout_counts,
+                )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _standard_fit_key(scenario: ScenarioSpec) -> tuple:
@@ -584,6 +836,8 @@ def run_campaign(
     share_fits: bool = True,
     blas_threads: int | None = None,
     telemetry_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    retry_failed: bool = False,
 ) -> CampaignResult:
     """Execute a campaign: expand, (optionally) resume, dispatch, record.
 
@@ -623,6 +877,16 @@ def run_campaign(
         ``events-*.jsonl`` per worker process, summary merged into its
         registry record) and the dispatcher writes campaign-level
         ``run_metrics.json`` + ``metrics.prom`` into this directory.
+    retry:
+        Retry/timeout policy (:class:`~repro.resilience.RetryPolicy`);
+        ``None`` runs every scenario once with no wall-clock budget.
+        Backoff delays are deterministic functions of the run id and
+        attempt number, never of wall clock or RNG.
+    retry_failed:
+        Resume mode that re-runs *only* the scenarios whose registry
+        records failed; successful records are returned as resumed and
+        scenarios with no record at all are skipped.  Requires
+        ``registry``.
     """
     if telemetry_dir is not None:
         with telemetry_session(
@@ -634,7 +898,8 @@ def run_campaign(
                 jobs=jobs, resume=resume,
                 worker_log_level=worker_log_level, name=name,
                 share_fits=share_fits, blas_threads=blas_threads,
-                telemetry_dir=telemetry_dir,
+                telemetry_dir=telemetry_dir, retry=retry,
+                retry_failed=retry_failed,
             )
             runs = [
                 {
@@ -644,10 +909,21 @@ def run_campaign(
                 }
                 for record in result.records
             ]
+            failures = [
+                {
+                    "run_id": record.get("run_id"),
+                    "error_code": record.get("error_code"),
+                    "failed_stage": record.get("failed_stage"),
+                    "attempts": record.get("attempts", 1),
+                }
+                for record in result.records
+                if record.get("status") == "failed"
+            ]
             payload = build_campaign_metrics(
                 tel, runs,
                 extra={"campaign": result.campaign,
-                       "wall_time_s": result.wall_time_s},
+                       "wall_time_s": result.wall_time_s,
+                       "failures": failures},
             )
             write_metrics_files(
                 telemetry_dir, tel, kind="campaign", payload=payload
@@ -657,6 +933,7 @@ def run_campaign(
         spec, registry=registry, cache=cache, scenarios=scenarios,
         jobs=jobs, resume=resume, worker_log_level=worker_log_level,
         name=name, share_fits=share_fits, blas_threads=blas_threads,
+        retry=retry, retry_failed=retry_failed,
     )
 
 
@@ -673,7 +950,11 @@ def _run_campaign_impl(
     share_fits: bool = True,
     blas_threads: int | None = None,
     telemetry_dir: str | None = None,
+    retry: RetryPolicy | None = None,
+    retry_failed: bool = False,
 ) -> CampaignResult:
+    if retry_failed and registry is None:
+        raise ValueError("retry_failed requires a registry")
     if isinstance(spec, CampaignSpec):
         campaign_name = name or spec.name
         if scenarios is None:
@@ -707,7 +988,23 @@ def _run_campaign_impl(
     by_id: dict[str, dict] = {}
 
     todo: list[ScenarioSpec] = []
-    if resume and registry is not None:
+    if retry_failed:
+        failed = registry.failed_run_ids()
+        completed = registry.completed_run_ids()
+        for scenario in scenarios:
+            if scenario.run_id in failed:
+                todo.append(scenario)
+            elif scenario.run_id in completed:
+                record = registry.load_result(scenario.run_id)
+                record["resumed"] = True
+                by_id[scenario.run_id] = record
+                _LOG.info("run %s: resumed from registry", scenario.run_id)
+            else:
+                _LOG.info(
+                    "run %s: no record to retry, skipped", scenario.run_id
+                )
+        _LOG.info("retry-failed: re-running %d failed run(s)", len(todo))
+    elif resume and registry is not None:
         completed = registry.completed_run_ids()
         for scenario in scenarios:
             if scenario.run_id in completed:
@@ -757,6 +1054,63 @@ def _run_campaign_impl(
             return None
         return prefits.get(_standard_fit_key(scenario))
 
+    # ------------------------------------------------------------------
+    # Retry bookkeeping, shared by the serial and pooled dispatchers.
+    # ------------------------------------------------------------------
+    policy = retry or RetryPolicy()
+    budget_left = [policy.retry_budget]  # None = unlimited
+
+    def _budget_ok() -> bool:
+        return budget_left[0] is None or budget_left[0] > 0
+
+    attempt_log: dict[str, list[dict]] = {}
+
+    def _note_retry(
+        run_id: str, attempt: int, error_code: str | None,
+        error: str | None, failed_stage: str | None, backoff: float,
+    ) -> None:
+        attempt_log.setdefault(run_id, []).append({
+            "attempt": attempt,
+            "error_code": error_code,
+            "error": error,
+            "failed_stage": failed_stage,
+            "backoff_s": backoff,
+        })
+        obs.incr("retry.attempts")
+        if budget_left[0] is not None:
+            budget_left[0] -= 1
+
+    def _finalize(
+        record: dict, model: PoleResidueModel | None, attempt: int
+    ) -> None:
+        record["attempts"] = attempt + 1
+        log = attempt_log.get(record["run_id"])
+        if log:
+            record["retries"] = log
+            if record["status"] == "ok":
+                obs.incr("retry.recovered")
+        _finish(record, model)
+
+    def _failed_record(
+        scenario: ScenarioSpec, attempt: int, error_code: str,
+        message: str,
+    ) -> dict:
+        """Dispatcher-synthesized record for a run that never returned
+        (worker crash, wall-clock timeout)."""
+        return {
+            "run_id": scenario.run_id,
+            "name": scenario.name,
+            "scenario": scenario.to_dict(),
+            "status": "failed",
+            "cache_hit": False,
+            "error": message,
+            "error_code": error_code,
+            "failed_stage": "campaign",
+            "metrics": None,
+            "duration_s": None,
+            "attempt": attempt,
+        }
+
     active_tel = obs.active()
     if jobs <= 1 or len(todo) <= 1:
         if active_tel is not None:
@@ -764,10 +1118,31 @@ def _run_campaign_impl(
                 "jobs": jobs, "blas_threads": None, "method": "uncapped",
             })
         for scenario in todo:
-            _finish(*execute_scenario(
-                scenario, cache_dir, _prefit(scenario), stage_store,
-                telemetry_dir,
-            ))
+            attempt = 0
+            while True:
+                record, model = execute_scenario(
+                    scenario, cache_dir, _prefit(scenario), stage_store,
+                    telemetry_dir, attempt=attempt,
+                )
+                if (
+                    record["status"] == "ok"
+                    or attempt >= policy.max_retries
+                    or not _budget_ok()
+                ):
+                    _finalize(record, model, attempt)
+                    break
+                backoff = policy.backoff_s(scenario.run_id, attempt + 1)
+                _note_retry(
+                    scenario.run_id, attempt, record.get("error_code"),
+                    record.get("error"), record.get("failed_stage"), backoff,
+                )
+                _LOG.warning(
+                    "run %s: attempt %d failed [%s]; retrying in %.2fs",
+                    scenario.run_id, attempt + 1,
+                    record.get("error_code"), backoff,
+                )
+                time.sleep(backoff)
+                attempt += 1
     else:
         max_workers = min(jobs, len(todo))
         worker_blas = (
@@ -780,37 +1155,11 @@ def _run_campaign_impl(
                 "blas_threads": worker_blas,
                 "method": "worker-init",
             })
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_worker_init,
-            initargs=(worker_log_level, worker_blas),
-        ) as pool:
-            pending = {
-                pool.submit(
-                    execute_scenario, scenario, cache_dir,
-                    _prefit(scenario), stage_store, telemetry_dir,
-                ): scenario
-                for scenario in todo
-            }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    scenario = pending.pop(future)
-                    try:
-                        record, model = future.result()
-                    except Exception as exc:  # worker process died
-                        record = {
-                            "run_id": scenario.run_id,
-                            "name": scenario.name,
-                            "scenario": scenario.to_dict(),
-                            "status": "failed",
-                            "cache_hit": False,
-                            "error": f"worker crashed: {exc!r}",
-                            "metrics": None,
-                            "duration_s": None,
-                        }
-                        model = None
-                    _finish(record, model)
+        _run_pool(
+            todo, policy, max_workers, worker_log_level, worker_blas,
+            cache_dir, _prefit, stage_store, telemetry_dir,
+            _budget_ok, _note_retry, _finalize, _failed_record,
+        )
 
     records = [
         by_id[scenario.run_id]
@@ -830,6 +1179,8 @@ def _run_campaign_impl(
             resume=resume,
             share_fits=share_fits,
             blas_threads=blas_threads,
+            retry=policy.to_dict(),
+            retry_failed=retry_failed,
         )
         registry.write_manifest(campaign_info, records)
     _LOG.info("%s", result.summary())

@@ -32,7 +32,8 @@ _MANIFEST_FORMAT = "repro.campaign-manifest"
 _MANIFEST_VERSION = 1
 
 _MANIFEST_RUN_FIELDS = (
-    "run_id", "name", "status", "cache_hit", "resumed", "duration_s", "error"
+    "run_id", "name", "status", "cache_hit", "resumed", "duration_s",
+    "error", "error_code", "failed_stage", "attempts",
 )
 
 
@@ -128,6 +129,14 @@ class CampaignRegistry:
             record["run_id"]
             for record in self.iter_results()
             if record.get("status") == "ok"
+        }
+
+    def failed_run_ids(self) -> set[str]:
+        """Run IDs whose stored record failed (retry-failed re-runs these)."""
+        return {
+            record["run_id"]
+            for record in self.iter_results()
+            if record.get("status") == "failed"
         }
 
     # ------------------------------------------------------------------

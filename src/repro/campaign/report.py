@@ -79,7 +79,14 @@ def failure_summary(records: list[dict]) -> str:
         return ""
     lines = [f"{len(failed)} failed run(s):"]
     for record in failed:
-        lines.append(f"  {record.get('run_id', '?')}: {record.get('error')}")
+        code = record.get("error_code") or "exception"
+        stage = record.get("failed_stage") or "?"
+        attempts = record.get("attempts", 1)
+        tries = f", {attempts} attempts" if attempts and attempts > 1 else ""
+        lines.append(
+            f"  {record.get('run_id', '?')} [{code} @ {stage}{tries}]: "
+            f"{record.get('error')}"
+        )
     return "\n".join(lines)
 
 

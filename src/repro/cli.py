@@ -318,6 +318,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         run_campaign,
         slugify,
     )
+    from repro.resilience import RetryPolicy
 
     try:
         spec = load_campaign(args.spec)
@@ -374,6 +375,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cache = FlowCache(cache_dir)
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
+    try:
+        retry = RetryPolicy(
+            max_retries=args.max_retries,
+            backoff_base_s=args.retry_backoff,
+            retry_budget=args.retry_budget,
+            timeout_s=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = run_campaign(
         spec,
         scenarios=scenarios,
@@ -385,6 +396,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         share_fits=not args.no_shared_fits,
         blas_threads=args.blas_threads,
         telemetry_dir=args.telemetry,
+        retry=retry,
+        retry_failed=args.retry_failed,
     )
     report = campaign_report(result)
     (out / "report.txt").write_text(report + "\n", encoding="utf-8")
@@ -677,6 +690,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print each run's per-stage pipeline timings and enforcement "
         "breakdown (check vs. QP vs. model rebuild)",
+    )
+    p_camp.add_argument(
+        "--max-retries", type=int, default=0,
+        help="re-run a failed scenario up to N extra attempts with "
+        "exponential backoff (default: 0, fail fast)",
+    )
+    p_camp.add_argument(
+        "--retry-backoff", type=float, default=0.1,
+        help="base backoff in seconds before the first retry; doubles "
+        "per attempt with deterministic per-run jitter (default: 0.1)",
+    )
+    p_camp.add_argument(
+        "--retry-budget", type=int, default=None,
+        help="campaign-wide cap on total retry attempts across all "
+        "scenarios (default: unlimited)",
+    )
+    p_camp.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-scenario wall-clock timeout in seconds; a timed-out "
+        "scenario is killed and requeued (pooled runs only)",
+    )
+    p_camp.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-run only the scenarios whose stored registry record "
+        "failed, keeping completed results",
     )
     p_camp.set_defaults(func=_cmd_campaign)
 

@@ -92,6 +92,7 @@ def _payload_from_events(events: list[dict]) -> dict:
 def _payload_from_registry(root: Path) -> dict:
     """Merge worker telemetry snapshots out of a campaign registry."""
     runs = []
+    failures = []
     for result in sorted(root.glob("runs/*/result.json")):
         record = json.loads(result.read_text(encoding="utf-8"))
         runs.append({
@@ -99,12 +100,21 @@ def _payload_from_registry(root: Path) -> dict:
             "seconds": _record_seconds(record),
             "snapshot": record.get("telemetry"),
         })
+        if record.get("status") == "failed":
+            failures.append({
+                "run_id": record.get("run_id", result.parent.name),
+                "error_code": record.get("error_code"),
+                "failed_stage": record.get("failed_stage"),
+                "attempts": record.get("attempts", 1),
+                "error": record.get("error"),
+            })
     manifest = json.loads((root / "manifest.json").read_text(encoding="utf-8"))
     telemetry = Telemetry(label="campaign", meta={
         "campaign": manifest.get("campaign"),
         "n_runs": len(runs),
     })
-    return build_campaign_metrics(telemetry, runs)
+    extra = {"failures": failures} if failures else None
+    return build_campaign_metrics(telemetry, runs, extra=extra)
 
 
 def _record_seconds(record: Mapping) -> float | None:
@@ -270,6 +280,17 @@ def _render_campaign(payload: Mapping) -> list[str]:
             seconds = row.get("seconds")
             shown = f"{seconds:.3f}s" if seconds is not None else "-"
             lines.append(f"    {row.get('run_id'):<40} {shown:>10}")
+    failures = payload.get("failures") or []
+    if failures:
+        lines += _section("failed runs")
+        for row in failures:
+            code = row.get("error_code") or "exception"
+            stage = row.get("failed_stage") or "?"
+            attempts = row.get("attempts", 1)
+            tries = f", {attempts} attempts" if attempts and attempts > 1 else ""
+            lines.append(f"    {row.get('run_id')} [{code} @ {stage}{tries}]")
+            if row.get("error"):
+                lines.append(f"        {row['error']}")
     meta = payload.get("meta") or {}
     blas = meta.get("blas") or meta.get("environment")
     if blas:

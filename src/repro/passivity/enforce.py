@@ -29,6 +29,8 @@ from repro.passivity.cost import BlockDiagonalCost
 from repro.passivity.engine import CheckerOptions, PassivityChecker
 from repro.passivity.perturbation import build_constraints
 from repro.passivity.qp import solve_block_qp
+from repro.resilience import faultinject
+from repro.resilience.errors import ReproError
 from repro.statespace.poleresidue import PoleResidueModel
 from repro.util.logging import get_logger
 
@@ -69,6 +71,11 @@ class EnforcementOptions:
     exact_every:
         In fast mode, cadence of interleaved exact Hamiltonian checks
         (``0`` disables interleaving).
+    divergence_patience:
+        Consecutive non-improving iterations (relative to the best
+        certified worst-sigma so far) tolerated before the loop stops
+        early and falls back to the best iterate.  Catches diverging and
+        oscillating runs without waiting out the iteration cap.
     """
 
     max_iterations: int = 30
@@ -79,10 +86,13 @@ class EnforcementOptions:
     max_relative_step: float = 0.3
     checker_strategy: str = "fast"
     exact_every: int = 5
+    divergence_patience: int = 3
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be at least 1")
+        if self.divergence_patience < 1:
+            raise ValueError("divergence_patience must be at least 1")
         if not (0.0 < self.margin < 0.1):
             raise ValueError("margin must be in (0, 0.1)")
         if not (0.0 < self.include_threshold <= 1.0):
@@ -133,6 +143,15 @@ class EnforcementResult:
     ``report_before``/``report_after`` are the initial and final passivity
     reports (both from exact Hamiltonian checks); ``total_delta_c`` is the
     accumulated residue-coefficient perturbation (P, P, N).
+
+    ``recovery`` is ``None`` on a normal run.  When a run fails to
+    converge and a *better* certified iterate was seen along the way
+    (divergence, oscillation, or an iteration-cap exit past the best
+    point), the loop returns that best iterate instead of the last one
+    and documents the roll-back here: ``{"mode": "best_iterate",
+    "reason": "divergence" | "iteration_cap", "best_iteration": ...,
+    "best_worst_sigma": ..., "final_worst_sigma": ...,
+    "iterations_run": ...}``.
     """
 
     model: PoleResidueModel
@@ -142,6 +161,7 @@ class EnforcementResult:
     report_before: PassivityReport = field(repr=False)
     report_after: PassivityReport = field(repr=False)
     total_delta_c: np.ndarray = field(repr=False)
+    recovery: dict | None = None
 
     def profile(self) -> dict[str, float]:
         """Aggregate wall-time breakdown over all iterations (seconds)."""
@@ -230,6 +250,15 @@ def enforce_passivity(
     )
     history: list[IterationRecord] = []
     iterations = 0
+    # Best-so-far certified iterate (the unperturbed model to begin
+    # with): rolled back to when the run ends without converging.
+    best_sigma = report_before.worst_sigma
+    best_iteration = 0
+    best_model = model
+    best_delta = total_delta.copy()
+    best_report = report_before
+    bad_streak = 0
+    stop_reason: str | None = None
     while iterations < options.max_iterations and not _is_passive(report, options):
         tic = time.perf_counter()
         frequencies = report.constraint_frequencies()
@@ -260,6 +289,7 @@ def enforce_passivity(
                 step_norm,
                 float(np.linalg.norm(delta_c)),
             )
+        delta_c = faultinject.corrupt("enforce.step", delta_c)
         total_delta += delta_c
         current = current.with_element_output_vectors(base_c + delta_c)
         rebuild_s = time.perf_counter() - tic
@@ -271,16 +301,42 @@ def enforce_passivity(
             report = checker.check_exact(current)
             mode = "exact"
         else:
-            report = checker.check_sampling(current)
-            mode = "sampling"
-            if _is_passive(report, options):
+            try:
+                report = checker.check_sampling(current)
+                mode = "sampling"
+            except ReproError:
+                # Sampling sweep failed outright (non-finite sigma):
+                # escalate to the exact Hamiltonian test -- the fast
+                # path is an accelerator, never a dependency.
+                obs.incr("fallback.checker_exact")
+                report = checker.check_exact(current)
+                mode = "sampling>exact"
+            if mode == "sampling" and _is_passive(report, options):
                 # Sampling is not conclusive: certify before declaring
                 # success.  A failed certificate re-enters the loop with
                 # the exact report's bands.
                 report = checker.check_exact(current)
+                if not _is_passive(report, options):
+                    # The sweep missed a violation strictly between
+                    # grid points.
+                    obs.incr("fallback.checker_exact")
                 mode = "sampling+certify"
         report_is_exact = mode != "sampling"
         check_s = time.perf_counter() - tic
+
+        # Best-iterate bookkeeping.  Exact reports below the best
+        # certified sigma advance the best iterate; a sampling sigma is
+        # a certified *lower* bound, so exceeding the best sigma counts
+        # as a non-improving iteration from either mode.
+        if report_is_exact and report.worst_sigma < best_sigma:
+            best_sigma = report.worst_sigma
+            best_iteration = iterations
+            best_model = current
+            best_delta = total_delta.copy()
+            best_report = report
+            bad_streak = 0
+        elif report.worst_sigma >= best_sigma:
+            bad_streak += 1
 
         record = IterationRecord(
             iteration=iterations,
@@ -320,27 +376,67 @@ def enforce_passivity(
             constraints.n_constraints,
             mode,
         )
+        if bad_streak >= options.divergence_patience:
+            stop_reason = "divergence"
+            _LOG.warning(
+                "enforcement: no improvement over best sigma %.8f for %d "
+                "iterations; stopping early",
+                best_sigma,
+                bad_streak,
+            )
+            break
 
     if not report_is_exact:
-        # Iteration cap hit with a sampling report: the result still gets
-        # an exact Hamiltonian certificate.
+        # Loop left with a sampling report: the result still gets an
+        # exact Hamiltonian certificate.
         report = checker.check_exact(current)
+
+    converged = _is_passive(report, options)
+    recovery: dict | None = None
+    if (
+        not converged
+        and np.isfinite(best_sigma)
+        and best_sigma < report.worst_sigma
+    ):
+        # Failed run, but a strictly better certified iterate was seen
+        # along the way: return that one instead of the diverged tail.
+        recovery = {
+            "mode": "best_iterate",
+            "reason": stop_reason or "iteration_cap",
+            "best_iteration": best_iteration,
+            "best_worst_sigma": float(best_sigma),
+            "final_worst_sigma": float(report.worst_sigma),
+            "iterations_run": iterations,
+        }
+        obs.incr("fallback.best_iterate")
+        obs.emit("enforce.recovery", cost=cost_label, **recovery)
+        _LOG.warning(
+            "enforcement: did not converge; returning best iterate %d "
+            "(worst sigma %.8f instead of %.8f)",
+            best_iteration,
+            best_sigma,
+            report.worst_sigma,
+        )
+        current = best_model
+        report = best_report
+        total_delta = best_delta
 
     obs.emit(
         "enforce.finish",
         cost=cost_label,
         iterations=iterations,
-        converged=_is_passive(report, options),
+        converged=converged,
         worst_sigma=report.worst_sigma,
     )
     return EnforcementResult(
         model=current,
-        converged=_is_passive(report, options),
+        converged=converged,
         iterations=iterations,
         history=history,
         report_before=report_before,
         report_after=report,
         total_delta_c=total_delta,
+        recovery=recovery,
     )
 
 

@@ -34,6 +34,8 @@ from repro.passivity.check import (
     default_omega_cap,
     report_from_crossings,
 )
+from repro.resilience import faultinject
+from repro.resilience.errors import CheckerError, ReproError
 from repro.statespace.hamiltonian import (
     hamiltonian_from_invariants,
     hamiltonian_invariants,
@@ -163,13 +165,26 @@ class PassivityChecker:
         a *passing* sampling sweep is never trusted on its own -- it is
         immediately confirmed (or refuted) by the exact Hamiltonian
         test, so an ``is_passive=True`` report from this method is
-        always an exact certificate.
+        always an exact certificate.  A sampling sweep that fails
+        outright (non-finite sigma, poisoned grid) escalates to the
+        exact check as well -- the fast path is an accelerator, never a
+        correctness dependency; each escalation increments the
+        ``fallback.checker_exact`` counter.
         """
         if self.use_exact(iteration):
             return self.check_exact(model)
-        report = self.check_sampling(model)
+        try:
+            report = self.check_sampling(model)
+        except ReproError:
+            obs.incr("fallback.checker_exact")
+            return self.check_exact(model)
         if report.is_passive or report.worst_sigma <= 1.0:
-            report = self.check_exact(model)
+            exact = self.check_exact(model)
+            if report.is_passive and not exact.is_passive:
+                # Sampling-grid disagreement: the sweep missed a
+                # violation strictly between grid points.
+                obs.incr("fallback.checker_exact")
+            report = exact
         return report
 
     # ------------------------------------------------------------------
@@ -191,7 +206,15 @@ class PassivityChecker:
             self._invariants, model.full_output_matrix()
         )
         with obs.span("kernel:hamiltonian_eig", n=int(m.shape[0])):
-            crossings = imaginary_crossings(m, model.frequency_response, 1.0)
+            try:
+                crossings = imaginary_crossings(
+                    m, model.frequency_response, 1.0
+                )
+            except np.linalg.LinAlgError as exc:
+                raise CheckerError(
+                    f"Hamiltonian eigendecomposition failed: {exc}",
+                    stage="enforcement",
+                ) from exc
         report = report_from_crossings(
             model,
             crossings,
@@ -222,7 +245,9 @@ class PassivityChecker:
         omega = self.seed_grid()
         seed_size = int(omega.size)
         stages_run = 0
-        sigma = _sigma_max(model, omega)
+        sigma = faultinject.corrupt(
+            "checker.sampling", _sigma_max(model, omega)
+        )
         for _ in range(self.options.refine_stages):
             if omega.size >= self.options.max_grid_points:
                 break
@@ -235,6 +260,11 @@ class PassivityChecker:
             sigma = np.concatenate([sigma, sigma_fresh])
             order = np.argsort(omega)
             omega, sigma = omega[order], sigma[order]
+        if not np.isfinite(sigma).all():
+            raise CheckerError(
+                "sampling sweep produced non-finite singular values",
+                stage="enforcement",
+            )
         worst = int(np.argmax(sigma))
         bands = bands_from_sigma_samples(omega, sigma)
         obs.emit(

@@ -50,8 +50,25 @@ import numpy as np
 import scipy.linalg
 import scipy.optimize
 
+from repro.obs import telemetry as obs
 from repro.passivity.cost import BlockDiagonalCost
 from repro.passivity.perturbation import ConstraintSet
+from repro.resilience import faultinject
+from repro.resilience.errors import QPInfeasibleError
+from repro.util.logging import get_logger
+
+_LOG = get_logger(__name__)
+
+#: Ladder of structured-solver retunings tried before the dense route:
+#: (ridge multiplier, seed_cap, grow_cap, max_rounds).  A Lawson-Hanson
+#: stall is almost always conditioning -- a stiffer Tikhonov ridge on the
+#: dual Gram plus a smaller working set converges where the well-
+#: conditioned tuning cycles.
+_STRUCTURED_RUNGS = (
+    (1.0, 512, 1024, 32),
+    (1e4, 256, 512, 24),
+    (1e8, 128, 256, 16),
+)
 
 
 @dataclass(frozen=True)
@@ -275,6 +292,8 @@ def _solve_structured(
     Returns ``(lam, x, max_violation)`` or ``None`` when the round/pivot
     caps are hit (the caller falls back to the dense route).
     """
+    if faultinject.check("qp.structured") == "stall":
+        return None
     ops = _StructuredOps(cost, constraints)
     g = constraints.bounds
     n_c = g.size
@@ -340,9 +359,31 @@ def solve_block_qp(
             dual=np.zeros(0),
         )
     if cost.shared and constraints.structured:
-        structured = _solve_structured(cost, constraints, dual_ridge)
-        if structured is not None:
+        # Fallback ladder: the nominal tuning first, then progressively
+        # stiffer Tikhonov ridges on shrinking working sets before
+        # conceding to the dense route.
+        for rung, (ridge_mult, seed_cap, grow_cap, max_rounds) in enumerate(
+            _STRUCTURED_RUNGS
+        ):
+            if rung > 0:
+                obs.incr("fallback.qp_regularized")
+                _LOG.warning(
+                    "solve_block_qp: structured solve stalled; retrying "
+                    "with ridge x%g", ridge_mult,
+                )
+            structured = _solve_structured(
+                cost,
+                constraints,
+                max(dual_ridge * ridge_mult, 1e-12),
+                seed_cap=seed_cap,
+                grow_cap=grow_cap,
+                max_rounds=max_rounds,
+            )
+            if structured is None:
+                continue
             lam, x, violation = structured
+            if not np.isfinite(x).all():
+                continue
             delta_c = x.reshape(p, p, n)
             return QPSolution(
                 delta_c=delta_c,
@@ -350,14 +391,29 @@ def solve_block_qp(
                 max_violation=violation,
                 dual=lam,
             )
-    f = constraints.dense_matrix()
-    g = constraints.bounds
-    y = _solve_h_inv_ft(cost, constraints)
-    # dual_ridge is relative to the mean diagonal of M.
-    diag = np.einsum("ij,ji->i", f, y)
-    scale = max(float(np.mean(diag)), 1e-300)
-    lam = _dual_nnls_dense(f, y, g, dual_ridge * scale)
+        obs.incr("fallback.qp_dense")
+        _LOG.warning(
+            "solve_block_qp: structured ladder exhausted; using the "
+            "dense dual route"
+        )
+    try:
+        f = constraints.dense_matrix()
+        g = constraints.bounds
+        y = _solve_h_inv_ft(cost, constraints)
+        # dual_ridge is relative to the mean diagonal of M.
+        diag = np.einsum("ij,ji->i", f, y)
+        scale = max(float(np.mean(diag)), 1e-300)
+        lam = _dual_nnls_dense(f, y, g, dual_ridge * scale)
+    except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError) as exc:
+        raise QPInfeasibleError(
+            f"dense dual QP solve failed: {exc}", stage="enforcement"
+        ) from exc
     x = -(y @ lam)
+    if not np.isfinite(x).all():
+        raise QPInfeasibleError(
+            "dense dual QP produced a non-finite perturbation",
+            stage="enforcement",
+        )
     delta_c = x.reshape(p, p, n)
     violation = float(np.max(f @ x - g)) if g.size else 0.0
     return QPSolution(

@@ -1,0 +1,163 @@
+"""Structured error taxonomy for the resilient execution layer.
+
+Every failure the engine knows how to recover from (or at least to
+report precisely) is a :class:`ReproError` subclass carrying three pieces
+of machine-readable context:
+
+* ``error_code`` -- a stable short string (``"qp_infeasible"``,
+  ``"worker_crash"``, ...) that lands in campaign run records, the
+  manifest, and telemetry counters, so failures can be queried and
+  aggregated without parsing messages;
+* ``stage`` -- the pipeline stage (or solver site) that raised;
+* ``scenario`` -- the campaign run id, when known.
+
+Subclasses double-inherit from the builtin exception their call sites
+historically raised (``IngestError`` is a ``ValueError``,
+``StageTimeoutError`` a ``TimeoutError``), so pre-existing ``except``
+clauses keep working while new code can catch the whole taxonomy with
+``except ReproError``.
+
+For exceptions from *outside* the taxonomy (a LAPACK convergence error,
+a pickling failure), :func:`error_code_of` classifies by type and
+:func:`stage_of` recovers the failing stage from the ``repro_stage``
+attribute the pipeline engine attaches while unwinding.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CheckerError",
+    "FitDivergedError",
+    "IngestError",
+    "QPInfeasibleError",
+    "ReproError",
+    "StageOutputError",
+    "StageTimeoutError",
+    "WorkerCrashError",
+    "error_code_of",
+    "stage_of",
+]
+
+
+class ReproError(Exception):
+    """Base of the structured failure taxonomy.
+
+    ``stage`` and ``scenario`` are optional context attached at raise
+    time (or later, by the layer that knows them); ``error_code`` is a
+    class-level constant identifying the failure kind.
+    """
+
+    error_code = "error"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str | None = None,
+        scenario: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.scenario = scenario
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary for run records and telemetry."""
+        return {
+            "error_code": self.error_code,
+            "stage": self.stage,
+            "scenario": self.scenario,
+            "message": str(self),
+        }
+
+
+class IngestError(ReproError, ValueError):
+    """Touchstone/termination ingest failed (bad file, bad spec).
+
+    Also a ``ValueError`` because that is what the ingest layer raised
+    before the taxonomy existed -- CLI handlers catching
+    ``(OSError, ValueError)`` keep working.
+    """
+
+    error_code = "ingest"
+
+
+class FitDivergedError(ReproError):
+    """Vector fitting produced non-finite poles or residues even after
+    falling back to the reference kernel."""
+
+    error_code = "fit_diverged"
+
+
+class QPInfeasibleError(ReproError):
+    """The enforcement QP could not be solved: the structured ladder and
+    the dense dual route both failed or returned non-finite steps."""
+
+    error_code = "qp_infeasible"
+
+
+class CheckerError(ReproError):
+    """A passivity check degraded irrecoverably (non-finite singular
+    values, Hamiltonian eigensolve failure)."""
+
+    error_code = "checker"
+
+
+class StageOutputError(ReproError):
+    """A pipeline stage emitted NaN/Inf arrays or a malformed model.
+
+    Raised at the stage boundary so the poisoned artifact never reaches
+    downstream LAPACK calls (whose failure modes are far less readable).
+    """
+
+    error_code = "stage_output"
+
+
+class WorkerCrashError(ReproError):
+    """A campaign worker process died (segfault, OOM kill, hard exit)."""
+
+    error_code = "worker_crash"
+
+
+class StageTimeoutError(ReproError, TimeoutError):
+    """A scenario exceeded its per-scenario wall-clock budget."""
+
+    error_code = "stage_timeout"
+
+
+def error_code_of(exc: BaseException) -> str:
+    """Stable machine-readable code for any exception.
+
+    Taxonomy members report their own ``error_code``; foreign exceptions
+    are classified by type so run records never carry a bare
+    ``"exception"`` for the handful of failure kinds worth querying.
+    """
+    code = getattr(exc, "error_code", None)
+    if isinstance(code, str) and code:
+        return code
+    if isinstance(exc, MemoryError):
+        return "out_of_memory"
+    if isinstance(exc, TimeoutError):
+        return "stage_timeout"
+    if isinstance(exc, OSError):
+        return "os_error"
+    if isinstance(exc, ValueError):
+        return "value_error"
+    if isinstance(exc, ArithmeticError):
+        return "arithmetic_error"
+    return "exception"
+
+
+def stage_of(exc: BaseException) -> str | None:
+    """The failing stage, from taxonomy context or the pipeline tag.
+
+    The pipeline engine attaches ``repro_stage`` to any exception that
+    unwinds through a stage; taxonomy members may carry an explicit
+    ``stage`` set closer to the failure.
+    """
+    stage = getattr(exc, "stage", None)
+    if isinstance(stage, str) and stage:
+        return stage
+    tagged = getattr(exc, "repro_stage", None)
+    if isinstance(tagged, str) and tagged:
+        return tagged
+    return None

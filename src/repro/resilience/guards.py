@@ -1,0 +1,82 @@
+"""NaN/Inf guards at pipeline stage boundaries.
+
+A stage that silently emits non-finite arrays poisons every downstream
+LAPACK call, and the eventual failure (an eigensolver non-convergence
+three stages later, or a quietly wrong table) is far harder to read than
+the cause.  :func:`ensure_finite_outputs` walks a stage's declared output
+artifacts -- float/complex ndarrays, pole-residue models, and the
+model-bearing result dataclasses -- and raises a typed
+:class:`~repro.resilience.errors.StageOutputError` naming the stage and
+artifact at the boundary instead.
+
+The walk is shallow and cheap (``np.isfinite`` over arrays the stage
+just produced anyway); on the clean path it is a negligible fraction of
+any stage's own linear algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resilience.errors import StageOutputError
+
+__all__ = ["ensure_finite_outputs", "nonfinite_in"]
+
+
+def _array_ok(value: np.ndarray) -> bool:
+    if value.dtype.kind not in "fc":
+        return True  # int/bool/str arrays cannot hold NaN/Inf
+    return bool(np.isfinite(value).all())
+
+
+def _model_offender(model) -> str | None:
+    """First non-finite defining array of a pole-residue model."""
+    for attr in ("poles", "residues", "const"):
+        part = getattr(model, attr, None)
+        if part is not None and not _array_ok(np.asarray(part)):
+            return attr
+    return None
+
+
+def nonfinite_in(name: str, value) -> str | None:
+    """Description of the first non-finite part of one artifact.
+
+    Returns ``None`` when the artifact is clean (or of a type the guard
+    does not inspect).  Covered: ndarrays, pole-residue models (via
+    their defining arrays), and any object exposing a ``model``
+    attribute that is itself guarded (fit results, enforcement results).
+    """
+    if isinstance(value, np.ndarray):
+        if not _array_ok(value):
+            return f"{name}: array contains NaN/Inf"
+        return None
+    # Pole-residue models and NetworkData-like containers.
+    if hasattr(value, "poles") and hasattr(value, "residues"):
+        offender = _model_offender(value)
+        if offender is not None:
+            return f"{name}: model {offender} contain NaN/Inf"
+        return None
+    if hasattr(value, "omega") and hasattr(value, "samples"):
+        for attr in ("omega", "samples"):
+            part = np.asarray(getattr(value, attr))
+            if not _array_ok(part):
+                return f"{name}: network {attr} contain NaN/Inf"
+        return None
+    inner = getattr(value, "model", None)
+    if inner is not None and hasattr(inner, "poles"):
+        offender = _model_offender(inner)
+        if offender is not None:
+            return f"{name}: model {offender} contain NaN/Inf"
+    return None
+
+
+def ensure_finite_outputs(stage: str, values: dict) -> None:
+    """Raise :class:`StageOutputError` when any output is non-finite."""
+    for name, value in values.items():
+        offender = nonfinite_in(name, value)
+        if offender is not None:
+            raise StageOutputError(
+                f"stage {stage!r} produced a non-finite artifact "
+                f"({offender})",
+                stage=stage,
+            )

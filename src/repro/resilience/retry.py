@@ -1,0 +1,90 @@
+"""Campaign retry/timeout policy with deterministic backoff.
+
+The campaign executor consults one :class:`RetryPolicy` per run: how many
+times a failed scenario may be re-attempted, how long to back off between
+attempts, how many retries the whole campaign may spend, and the
+per-scenario wall-clock budget enforced through the process pool.
+
+Backoff is exponential with *deterministic* jitter: the jitter fraction
+is derived from a SHA-256 of ``(run_id, attempt)``, not from wall clock
+or a random generator, so a re-run of the same campaign schedules the
+same delays and nothing time- or RNG-dependent leaks into digests or
+records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+
+__all__ = ["RetryPolicy", "jitter_fraction"]
+
+
+def jitter_fraction(run_id: str, attempt: int) -> float:
+    """Deterministic jitter in ``[0, 1)`` from the run id and attempt."""
+    digest = hashlib.sha256(f"{run_id}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout configuration of one campaign run.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts granted to a failed scenario (0 disables retry;
+        worker crashes and timeouts still get one requeue each -- see
+        the executor).
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Exponential backoff: retry ``a`` (1-based) waits
+        ``base * factor**(a-1)``, scaled by the deterministic jitter and
+        capped at ``backoff_max_s``.
+    jitter:
+        Relative jitter amplitude: the delay is multiplied by
+        ``1 + jitter * jitter_fraction(run_id, attempt)``.
+    retry_budget:
+        Campaign-wide cap on retries across all scenarios (``None`` =
+        unlimited); keeps a systematically-failing sweep from doubling
+        its own wall time.
+    timeout_s:
+        Per-scenario wall-clock budget, enforced by the dispatcher for
+        pooled runs (a serial run cannot preempt itself).
+    """
+
+    max_retries: int = 0
+    backoff_base_s: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    jitter: float = 0.25
+    retry_budget: int | None = None
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0.0 or self.backoff_max_s < 0.0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must be in [0, 1]")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+        if self.timeout_s is not None and self.timeout_s <= 0.0:
+            raise ValueError("timeout_s must be positive")
+
+    def backoff_s(self, run_id: str, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based) of ``run_id``."""
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        scaled = base * (1.0 + self.jitter * jitter_fraction(run_id, attempt))
+        return min(self.backoff_max_s, scaled)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RetryPolicy":
+        return cls(**payload)

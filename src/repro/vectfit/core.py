@@ -49,6 +49,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import telemetry as obs
+from repro.resilience import faultinject
+from repro.resilience.errors import FitDivergedError
 from repro.statespace.poleresidue import PoleResidueModel, _analyse_pole_structure
 from repro.util.logging import get_logger
 from repro.util.validation import check_frequency_grid, check_square_stack
@@ -363,7 +365,9 @@ def _sigma_compress_batched(
         # agreement with the reference path is ~1e-12 relative with or
         # without one, and the second pass would re-fire every iteration
         # on the degenerate-by-construction columns.
-        rows = r[:, :cols_sigma, :cols_sigma]
+        rows = faultinject.corrupt(
+            "vf.relocate_batched", r[:, :cols_sigma, :cols_sigma]
+        )
         if options.relaxed:
             rhs = np.zeros(rows.shape[:2])
         else:
@@ -386,8 +390,11 @@ def _sigma_compress_batched(
         block[:, :, -1] = hw
     stacked = kernels.realify_rows(block)  # (M, 2K, C)
     r = np.linalg.qr(stacked, mode="r")
-    rows = r[:, cols_model : cols_model + cols_sigma,
-             cols_model : cols_model + cols_sigma]
+    rows = faultinject.corrupt(
+        "vf.relocate_batched",
+        r[:, cols_model : cols_model + cols_sigma,
+          cols_model : cols_model + cols_sigma],
+    )
     if options.relaxed:
         rhs = np.zeros(rows.shape[:2])
     else:
@@ -441,6 +448,78 @@ def _solve_sigma_poles(
     return canonicalize_poles(zeros)
 
 
+def _relocate_poles(
+    omega: np.ndarray,
+    compress_responses: np.ndarray,
+    compress_weights: np.ndarray,
+    responses: np.ndarray,
+    weight_table: np.ndarray,
+    poles: np.ndarray,
+    phi: np.ndarray,
+    phi_scale: np.ndarray,
+    sigma_scale: np.ndarray,
+    options: VFOptions,
+) -> np.ndarray:
+    """Compression + pooled sigma solve, with the kernel fallback ladder.
+
+    A batched compression whose output drives the pooled solve into
+    NaN/Inf or a failed SVD (rank collapse, poisoned input) is retried
+    once with the reference per-column kernel on the *full* column
+    tables -- the equivalence oracle.  Each fallback increments the
+    ``fallback.vf_kernel`` counter; a reference-path failure (or a
+    failed fallback) raises :class:`FitDivergedError`.
+    """
+    phi_scaled = phi / phi_scale
+    compress = (
+        _sigma_compress_batched
+        if options.kernel == "batched"
+        else _sigma_compress_reference
+    )
+    new_poles = None
+    try:
+        rows, rhs_rows = compress(
+            compress_responses, compress_weights, phi_scaled, sigma_scale,
+            options,
+        )
+        new_poles = _solve_sigma_poles(
+            rows, rhs_rows, phi, phi_scale, sigma_scale,
+            responses, weight_table, poles, omega, options,
+        )
+    except np.linalg.LinAlgError:
+        pass
+    if new_poles is not None and np.isfinite(new_poles).all():
+        return new_poles
+    if options.kernel != "batched":
+        raise FitDivergedError(
+            "pole relocation produced non-finite poles",
+            stage="standard_fit",
+        )
+    obs.incr("fallback.vf_kernel")
+    _LOG.warning(
+        "vector_fit: batched relocation failed; retrying with the "
+        "reference kernel"
+    )
+    try:
+        rows, rhs_rows = _sigma_compress_reference(
+            responses, weight_table, phi_scaled, sigma_scale, options
+        )
+        new_poles = _solve_sigma_poles(
+            rows, rhs_rows, phi, phi_scale, sigma_scale,
+            responses, weight_table, poles, omega, options,
+        )
+    except np.linalg.LinAlgError as exc:
+        raise FitDivergedError(
+            "pole relocation failed on both kernels",
+            stage="standard_fit",
+        ) from exc
+    if not np.isfinite(new_poles).all():
+        raise FitDivergedError(
+            "pole relocation produced non-finite poles on both kernels",
+            stage="standard_fit",
+        )
+    return new_poles
+
+
 def _relocate(
     omega: np.ndarray,
     responses: np.ndarray,
@@ -451,17 +530,9 @@ def _relocate(
     """One pole-relocation step; returns the new canonical pole set."""
     phi = _basis(omega, poles)
     phi_scale, sigma_scale = _sigma_scales(phi, omega.size, options)
-    compress = (
-        _sigma_compress_batched
-        if options.kernel == "batched"
-        else _sigma_compress_reference
-    )
-    rows, rhs_rows = compress(
-        responses, weights, phi / phi_scale, sigma_scale, options
-    )
-    return _solve_sigma_poles(
-        rows, rhs_rows, phi, phi_scale, sigma_scale,
-        responses, weights, poles, omega, options,
+    return _relocate_poles(
+        omega, responses, weights, responses, weights, poles,
+        phi, phi_scale, sigma_scale, options,
     )
 
 
@@ -576,6 +647,7 @@ def _identify_residues_batched(
         coefficients = solution[:, :n]
         if solve_const:
             const = solution[:, n].copy()
+    coefficients = faultinject.corrupt("vf.residues_batched", coefficients)
     if dc_exact:
         const = dc_values - coefficients @ phi_dc
     residues = _coefficients_to_residues(poles, coefficients)
@@ -605,6 +677,62 @@ def _identify_residues(
         else _identify_residues_reference
     )
     return identify(omega, responses, weights, poles, options, fixed_const)
+
+
+def _identify_with_fallback(
+    omega: np.ndarray,
+    responses: np.ndarray,
+    weights: np.ndarray,
+    poles: np.ndarray,
+    options: VFOptions,
+    fixed_const: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Residue identification with the batched->reference ladder.
+
+    Mirrors :func:`_relocate_poles`: a batched solve that errors or
+    produces non-finite residues is retried once with the reference
+    per-column loop (``fallback.vf_kernel`` counter); a failure on the
+    reference path raises :class:`FitDivergedError`.
+    """
+    residues = const = None
+    try:
+        residues, const = _identify_residues(
+            omega, responses, weights, poles, options, fixed_const
+        )
+    except np.linalg.LinAlgError:
+        pass
+    if (
+        residues is not None
+        and np.isfinite(residues).all()
+        and np.isfinite(const).all()
+    ):
+        return residues, const
+    if options.kernel != "batched":
+        raise FitDivergedError(
+            "residue identification produced non-finite results",
+            stage="standard_fit",
+        )
+    obs.incr("fallback.vf_kernel")
+    _LOG.warning(
+        "vector_fit: batched residue identification failed; retrying "
+        "with the reference kernel"
+    )
+    try:
+        residues, const = _identify_residues_reference(
+            omega, responses, weights, poles, options, fixed_const
+        )
+    except np.linalg.LinAlgError as exc:
+        raise FitDivergedError(
+            "residue identification failed on both kernels",
+            stage="standard_fit",
+        ) from exc
+    if not (np.isfinite(residues).all() and np.isfinite(const).all()):
+        raise FitDivergedError(
+            "residue identification produced non-finite results on "
+            "both kernels",
+            stage="standard_fit",
+        )
+    return residues, const
 
 
 def _symmetric_reduction(
@@ -673,7 +801,7 @@ def _characterize(
 ) -> VFResult:
     """Residue identification, asymptotic projection and error metrics."""
     k, p, _ = samples.shape
-    residues, const_flat = _identify_residues(
+    residues, const_flat = _identify_with_fallback(
         omega, responses, weight_table, poles, options
     )
     const = const_flat.reshape(p, p)
@@ -690,7 +818,7 @@ def _characterize(
                 sigma[0],
                 limit,
             )
-            residues, const_flat = _identify_residues(
+            residues, const_flat = _identify_with_fallback(
                 omega,
                 responses,
                 weight_table,
@@ -867,21 +995,12 @@ def fit_many(
                 poles = members[0].poles
                 phi = _basis(omega, poles)
                 phi_scale, sigma_scale = _sigma_scales(phi, k, options)
-                phi_scaled = phi / phi_scale
-                compress = (
-                    _sigma_compress_batched
-                    if options.kernel == "batched"
-                    else _sigma_compress_reference
-                )
                 for state in members:
-                    rows, rhs_rows = compress(
-                        state.compress_responses, state.compress_weights,
-                        phi_scaled, sigma_scale, options,
-                    )
-                    new_poles = _solve_sigma_poles(
-                        rows, rhs_rows, phi, phi_scale, sigma_scale,
-                        state.responses, state.weight_table, state.poles,
-                        omega, options,
+                    new_poles = _relocate_poles(
+                        omega, state.compress_responses,
+                        state.compress_weights, state.responses,
+                        state.weight_table, state.poles,
+                        phi, phi_scale, sigma_scale, options,
                     )
                     change = _pole_change(state.poles, new_poles)
                     state.poles = new_poles

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import telemetry as obs
+
 #: Relative diagonal threshold below which a QR-compressed slice is
 #: treated as rank deficient and re-solved with the SVD-based fallback.
 _RANK_TOL = 1e3 * np.finfo(float).eps
@@ -98,6 +100,17 @@ def batched_qr_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         solution[index], *_ = np.linalg.lstsq(
             scaled[index], b[index], rcond=None
         )
+    # Last rung of the per-slice ladder: a triangular solve that passed
+    # the rank test can still go non-finite on pathological scaling; such
+    # slices are re-solved with the SVD route before anything downstream
+    # sees a NaN.
+    bad = ~np.isfinite(solution).all(axis=1)
+    if np.any(bad):
+        obs.incr("fallback.kernel_lstsq", int(bad.sum()))
+        for index in np.flatnonzero(bad):
+            solution[index], *_ = np.linalg.lstsq(
+                scaled[index], b[index], rcond=None
+            )
     return solution / norms
 
 

@@ -159,7 +159,7 @@ class TestLegacyEquivalence:
         assert flow_fingerprint(
             tc.data, tc.termination, tc.observe_port, FlowOptions()
         ) == (
-            "f41de96ae36f1d1ff405921c9790b5d9e95fd07e69a6817b7df6e74ba30b504f"
+            "8bcaeaa4cf6d74705aec1f1861627dd86e8f59db34d5c8062974dca96407f978"
         )
 
         f = np.linspace(1e6, 1e9, 5)
@@ -169,7 +169,7 @@ class TestLegacyEquivalence:
         data = NetworkData(frequencies=f, samples=s)
         term = build_termination("0=r(50);1=r(50)", 2, observe_port=0)
         assert flow_fingerprint(data, term, 0, FlowOptions()) == (
-            "c74ab7b72a25fe523dc8c03cd38f9fe9e1b94b8ba24d31f39d2fb9df94e3d3f3"
+            "f6f2335af4775700f153ab1487f756a2378a02ba5201094942b7131bf143d9ce"
         )
 
 
