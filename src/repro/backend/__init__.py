@@ -1,0 +1,48 @@
+"""Pluggable array backends for the dense-numerics kernels.
+
+``repro.backend`` decouples the solver stack (vector fitting,
+passivity cost/QP, Hamiltonian tests) from the array library executing
+it.  The :class:`Backend` protocol names the ~10 linalg primitives the
+codebase uses; :class:`NumpyBackend` is the default and is numerically
+identical to the pre-backend direct-call code; cupy/jax backends are
+opt-in (``pip install 'repro-pdn-passivity[gpu]'`` / ``[jax]``) and
+degrade to numpy per-op -- bumping the ``fallback.backend`` counter --
+when the device raises or returns non-finite results.
+
+Select a backend with ``backend="..."`` on :class:`~repro.vectfit.
+options.VFOptions` / :class:`~repro.passivity.enforce.
+EnforcementOptions` / :class:`~repro.api.config.ReproConfig` /
+:class:`~repro.campaign.scenario.ScenarioSpec`, with ``--backend`` on
+``repro fit/flow/campaign``, or directly::
+
+    from repro.backend import use_backend
+
+    with use_backend("cupy"):
+        result = vector_fit(omega, samples, options=options)
+"""
+
+from repro.backend.base import Backend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import (
+    KNOWN_BACKENDS,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+    use_backend,
+    validate_backend_name,
+)
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "KNOWN_BACKENDS",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+    "use_backend",
+    "validate_backend_name",
+]

@@ -1,0 +1,112 @@
+"""The array-backend protocol: the linalg surface the solvers consume.
+
+Every dense-numerics call site in the repository (vector-fitting
+kernels, passivity cost factorization, QP assembly, Hamiltonian
+eigensolves) routes through an object satisfying :class:`Backend`
+instead of calling ``numpy``/``scipy.linalg`` directly.  The protocol
+is deliberately small -- the ~10 primitives the codebase actually
+uses -- so a new accelerator backend is a single class, not a sweep
+through a dozen modules:
+
+``xp``
+    The array namespace (``numpy``, ``cupy``, ``jax.numpy``, ...) for
+    element-wise work that needs no special routing.
+``qr_r`` / ``qr_reduced``
+    Batched triangular-only and thin QR (the VF relocation
+    compression).
+``lstsq``
+    Minimum-norm multi-RHS least squares, ``rcond=None`` semantics
+    (the equilibrated residue/sigma solves).
+``svd`` / ``eigvals`` / ``eig`` / ``eigh``
+    Batched spectral primitives (constraint selection, sigma zeros,
+    Hamiltonian test, cost repair).
+``cholesky`` / ``cho_solve`` / ``solve`` / ``inv``
+    The factorization set of the QP cost operator.
+``einsum`` / ``kron``
+    The structured contractions of the QP fast path and the
+    state-space embedding.
+``to_device`` / ``from_device``
+    Host <-> accelerator transfer; both are identity for numpy.
+
+The default :class:`~repro.backend.numpy_backend.NumpyBackend`
+delegates each primitive to the *exact* call the legacy code made
+(``np.linalg.lstsq(..., rcond=None)``, ``scipy.linalg.cho_solve(...,
+check_finite=False)``, ...), so the numpy path is bit-identical to the
+pre-backend code and stays pinned by the reference-kernel oracle
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["Backend"]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Protocol of the array/linalg surface the solver stack consumes."""
+
+    name: str
+    device: str
+
+    @property
+    def xp(self) -> Any:
+        """The array namespace of this backend."""
+
+    # -- transfer ----------------------------------------------------
+    def asarray(self, a: Any, dtype: Any = None) -> Any:
+        """``a`` as a backend-native array."""
+
+    def to_device(self, a: Any) -> Any:
+        """Move a host array onto this backend's device."""
+
+    def from_device(self, a: Any) -> Any:
+        """Move a backend array back to a host numpy array."""
+
+    # -- factorizations ----------------------------------------------
+    def qr_r(self, a: Any) -> Any:
+        """Triangular factor(s) of a (batched) QR, ``mode='r'``."""
+
+    def qr_reduced(self, a: Any) -> Any:
+        """Thin QR ``(q, r)`` of a (batched) matrix."""
+
+    def cholesky(self, a: Any) -> Any:
+        """Lower-triangular (batched) Cholesky factor."""
+
+    def cho_solve(self, chol: Any, rhs: Any) -> Any:
+        """Solve ``A x = rhs`` from a lower Cholesky factor of ``A``."""
+
+    # -- solves ------------------------------------------------------
+    def lstsq(self, a: Any, b: Any) -> Any:
+        """Minimum-norm least-squares solution (``rcond=None``)."""
+
+    def solve(self, a: Any, b: Any) -> Any:
+        """Solution of the (batched) square system ``A x = b``."""
+
+    def inv(self, a: Any) -> Any:
+        """Matrix inverse."""
+
+    # -- spectral ----------------------------------------------------
+    def svd(self, a: Any, *, compute_uv: bool = True) -> Any:
+        """(Batched) singular value decomposition."""
+
+    def eigvals(self, a: Any, *, overwrite: bool = False) -> Any:
+        """Eigenvalues of a general matrix.
+
+        ``overwrite=True`` permits destroying ``a`` (the large
+        Hamiltonian call site).
+        """
+
+    def eig(self, a: Any) -> Any:
+        """Eigenvalues and right eigenvectors of a general matrix."""
+
+    def eigh(self, a: Any) -> Any:
+        """Eigendecomposition of a Hermitian (batched) matrix."""
+
+    # -- contractions ------------------------------------------------
+    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any) -> Any:
+        """Einstein summation."""
+
+    def kron(self, a: Any, b: Any) -> Any:
+        """Kronecker product."""

@@ -1,0 +1,353 @@
+"""Accelerator backends (cupy, jax) and the numpy-fallback wrapper.
+
+Both device backends are optional: the classes import their library
+lazily and raise an ``ImportError`` naming the ``pyproject`` extra
+(``repro-pdn-passivity[gpu]`` / ``[jax]``) when it is missing.  At
+runtime every device backend is wrapped in :class:`ResilientBackend`,
+which retries any primitive that raises -- or that returns non-finite
+values where the inputs were finite -- on the host
+:class:`~repro.backend.numpy_backend.NumpyBackend`, bumping the
+``fallback.backend`` telemetry counter so degraded runs are visible in
+``repro trace``.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.backend.numpy_backend import NumpyBackend
+
+__all__ = ["CupyBackend", "JaxBackend", "ArrayApiStrictBackend",
+           "ResilientBackend", "missing_backend_error"]
+
+
+def missing_backend_error(name: str, module: str, extra: str) -> ImportError:
+    """The error raised when an optional backend's library is absent."""
+    return ImportError(
+        f"backend '{name}' requires the optional dependency '{module}'; "
+        f"install it with: pip install 'repro-pdn-passivity[{extra}]'"
+    )
+
+
+def _import_or_raise(name: str, module: str, extra: str):
+    try:
+        return importlib.import_module(module)
+    except ImportError as exc:
+        raise missing_backend_error(name, module, extra) from exc
+
+
+class CupyBackend:
+    """CUDA backend via cupy; install with the ``gpu`` extra.
+
+    All primitives run on the device except the general nonsymmetric
+    eigenproblem (``eigvals``/``eig``), which cuSOLVER does not
+    provide -- those round-trip through the host LAPACK deliberately
+    (no fallback counter: it is the documented path, not a failure).
+    """
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        cp = _import_or_raise("cupy", "cupy", "gpu")
+        self._cp = cp
+        self._host = NumpyBackend()
+        self.device = f"cuda:{cp.cuda.runtime.getDevice()}"
+
+    @property
+    def xp(self) -> Any:
+        return self._cp
+
+    def asarray(self, a: Any, dtype: Any = None) -> Any:
+        return self._cp.asarray(a, dtype=dtype)
+
+    def to_device(self, a: Any) -> Any:
+        return self._cp.asarray(a)
+
+    def from_device(self, a: Any) -> np.ndarray:
+        return self._cp.asnumpy(a)
+
+    def qr_r(self, a: Any) -> Any:
+        return self._cp.linalg.qr(a, mode="r")
+
+    def qr_reduced(self, a: Any) -> Any:
+        return self._cp.linalg.qr(a)
+
+    def cholesky(self, a: Any) -> Any:
+        return self._cp.linalg.cholesky(a)
+
+    def cho_solve(self, chol: Any, rhs: Any) -> Any:
+        cp = self._cp
+        y = cp.linalg.solve(chol, cp.asarray(rhs))
+        return cp.linalg.solve(cp.conj(chol.T), y)
+
+    def lstsq(self, a: Any, b: Any) -> Any:
+        return self._cp.linalg.lstsq(a, b, rcond=None)[0]
+
+    def solve(self, a: Any, b: Any) -> Any:
+        return self._cp.linalg.solve(a, b)
+
+    def inv(self, a: Any) -> Any:
+        return self._cp.linalg.inv(a)
+
+    def svd(self, a: Any, *, compute_uv: bool = True):
+        return self._cp.linalg.svd(a, compute_uv=compute_uv)
+
+    def eigvals(self, a: Any, *, overwrite: bool = False) -> Any:
+        del overwrite  # the host copy is unavoidable here
+        values = self._host.eigvals(self.from_device(a))
+        return self._cp.asarray(values)
+
+    def eig(self, a: Any):
+        values, vectors = self._host.eig(self.from_device(a))
+        return self._cp.asarray(values), self._cp.asarray(vectors)
+
+    def eigh(self, a: Any):
+        return self._cp.linalg.eigh(a)
+
+    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any):
+        return self._cp.einsum(subscripts, *operands, **kwargs)
+
+    def kron(self, a: Any, b: Any) -> Any:
+        return self._cp.kron(a, b)
+
+
+class JaxBackend:
+    """XLA backend via jax; install with the ``jax`` extra.
+
+    64-bit mode is enabled on construction (the solvers are double
+    precision throughout); the general eigenproblem runs wherever
+    ``jnp.linalg.eig`` is supported and otherwise falls back through
+    :class:`ResilientBackend`.
+    """
+
+    name = "jax"
+
+    def __init__(self) -> None:
+        jax = _import_or_raise("jax", "jax", "jax")
+        jax.config.update("jax_enable_x64", True)
+        self._jax = jax
+        self._jnp = jax.numpy
+        device = jax.devices()[0]
+        self.device = f"{device.platform}:{getattr(device, 'id', 0)}"
+
+    @property
+    def xp(self) -> Any:
+        return self._jnp
+
+    def asarray(self, a: Any, dtype: Any = None) -> Any:
+        return self._jnp.asarray(a, dtype=dtype)
+
+    def to_device(self, a: Any) -> Any:
+        return self._jnp.asarray(a)
+
+    def from_device(self, a: Any) -> np.ndarray:
+        return np.asarray(a)
+
+    def qr_r(self, a: Any) -> Any:
+        return self._jnp.linalg.qr(a, mode="r")
+
+    def qr_reduced(self, a: Any) -> Any:
+        return self._jnp.linalg.qr(a)
+
+    def cholesky(self, a: Any) -> Any:
+        return self._jnp.linalg.cholesky(a)
+
+    def cho_solve(self, chol: Any, rhs: Any) -> Any:
+        return self._jax.scipy.linalg.cho_solve(
+            (chol, True), self._jnp.asarray(rhs))
+
+    def lstsq(self, a: Any, b: Any) -> Any:
+        return self._jnp.linalg.lstsq(a, b, rcond=None)[0]
+
+    def solve(self, a: Any, b: Any) -> Any:
+        return self._jnp.linalg.solve(a, b)
+
+    def inv(self, a: Any) -> Any:
+        return self._jnp.linalg.inv(a)
+
+    def svd(self, a: Any, *, compute_uv: bool = True):
+        return self._jnp.linalg.svd(a, compute_uv=compute_uv)
+
+    def eigvals(self, a: Any, *, overwrite: bool = False) -> Any:
+        del overwrite
+        return self._jnp.linalg.eigvals(a)
+
+    def eig(self, a: Any):
+        return self._jnp.linalg.eig(a)
+
+    def eigh(self, a: Any):
+        return self._jnp.linalg.eigh(a)
+
+    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any):
+        return self._jnp.einsum(subscripts, *operands, **kwargs)
+
+    def kron(self, a: Any, b: Any) -> Any:
+        return self._jnp.kron(a, b)
+
+
+class ArrayApiStrictBackend:
+    """Compatibility backend over ``array_api_strict``.
+
+    Exercises the protocol surface against the standard array-API
+    namespace: everything the standard's linalg extension covers runs
+    through it; the few primitives outside the standard (``lstsq``,
+    general ``eig``, ``cho_solve``) round-trip through the host
+    reference implementation, which is exactly what a minimal
+    array-API device library would have to do.
+    """
+
+    name = "array_api_strict"
+    device = "cpu"
+
+    def __init__(self) -> None:
+        self._xp = _import_or_raise(
+            "array_api_strict", "array_api_strict", "dev")
+        self._host = NumpyBackend()
+
+    @property
+    def xp(self) -> Any:
+        return self._xp
+
+    def asarray(self, a: Any, dtype: Any = None) -> Any:
+        if dtype is not None:
+            return self._xp.asarray(np.asarray(a, dtype=dtype))
+        return self._xp.asarray(np.asarray(a))
+
+    def to_device(self, a: Any) -> Any:
+        return self.asarray(a)
+
+    def from_device(self, a: Any) -> np.ndarray:
+        return np.asarray(a)
+
+    def qr_r(self, a: Any) -> Any:
+        return self._xp.linalg.qr(a, mode="reduced").R
+
+    def qr_reduced(self, a: Any) -> Any:
+        q, r = self._xp.linalg.qr(a, mode="reduced")
+        return q, r
+
+    def cholesky(self, a: Any) -> Any:
+        return self._xp.linalg.cholesky(a)
+
+    def cho_solve(self, chol: Any, rhs: Any) -> Any:
+        return self.asarray(self._host.cho_solve(
+            self.from_device(chol), np.asarray(rhs)))
+
+    def lstsq(self, a: Any, b: Any) -> Any:
+        return self.asarray(self._host.lstsq(
+            self.from_device(a), self.from_device(b)))
+
+    def solve(self, a: Any, b: Any) -> Any:
+        return self._xp.linalg.solve(a, b)
+
+    def inv(self, a: Any) -> Any:
+        return self._xp.linalg.inv(a)
+
+    def svd(self, a: Any, *, compute_uv: bool = True):
+        if compute_uv:
+            u, s, vh = self._xp.linalg.svd(a)
+            return u, s, vh
+        return self._xp.linalg.svdvals(a)
+
+    def eigvals(self, a: Any, *, overwrite: bool = False) -> Any:
+        del overwrite
+        return self.asarray(self._host.eigvals(self.from_device(a)))
+
+    def eig(self, a: Any):
+        values, vectors = self._host.eig(self.from_device(a))
+        return self.asarray(values), self.asarray(vectors)
+
+    def eigh(self, a: Any):
+        result = self._xp.linalg.eigh(a)
+        return result.eigenvalues, result.eigenvectors
+
+    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any):
+        host = self._host.einsum(
+            subscripts, *[self.from_device(op) for op in operands], **kwargs)
+        return self.asarray(host)
+
+    def kron(self, a: Any, b: Any) -> Any:
+        return self.asarray(self._host.kron(
+            self.from_device(a), self.from_device(b)))
+
+
+_WRAPPED_OPS = (
+    "qr_r", "qr_reduced", "cholesky", "cho_solve", "lstsq", "solve",
+    "inv", "svd", "eigvals", "eig", "eigh", "einsum", "kron",
+)
+
+
+def _all_finite(xp: Any, result: Any) -> bool:
+    parts = result if isinstance(result, tuple) else (result,)
+    for part in parts:
+        dtype = getattr(part, "dtype", None)
+        if dtype is None or getattr(dtype, "kind", "f") not in "fc":
+            continue
+        if not bool(xp.all(xp.isfinite(part))):
+            return False
+    return True
+
+
+class ResilientBackend:
+    """Device backend with a per-op numpy safety net.
+
+    Every linalg primitive of ``inner`` is retried on the host
+    :class:`NumpyBackend` when it raises or returns non-finite values;
+    each rescue bumps the ``fallback.backend`` counter and emits a
+    ``backend.fallback`` event naming the op, so accelerator trouble
+    degrades a run to CPU speed instead of failing it -- and is
+    visible in the trace.
+    """
+
+    def __init__(self, inner: Any, host: NumpyBackend | None = None) -> None:
+        self._inner = inner
+        self._host = host or NumpyBackend()
+        self.name = inner.name
+        self.device = inner.device
+
+    @property
+    def xp(self) -> Any:
+        return self._inner.xp
+
+    def asarray(self, a: Any, dtype: Any = None) -> Any:
+        return self._inner.asarray(a, dtype=dtype)
+
+    def to_device(self, a: Any) -> Any:
+        return self._inner.to_device(a)
+
+    def from_device(self, a: Any) -> np.ndarray:
+        return self._inner.from_device(a)
+
+    def _host_args(self, args: tuple) -> tuple:
+        return tuple(
+            self._inner.from_device(arg)
+            if not isinstance(arg, (str, int, float, bool, type(None)))
+            else arg
+            for arg in args
+        )
+
+    def _rescue(self, op: str, reason: str, args: tuple, kwargs: dict):
+        obs.incr("fallback.backend")
+        obs.emit("backend.fallback", backend=self.name, op=op,
+                 reason=reason)
+        return getattr(self._host, op)(*self._host_args(args), **kwargs)
+
+    def __getattr__(self, op: str) -> Any:
+        if op not in _WRAPPED_OPS:
+            raise AttributeError(op)
+        inner_op = getattr(self._inner, op)
+
+        def wrapped(*args: Any, **kwargs: Any):
+            try:
+                result = inner_op(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 -- any device failure
+                return self._rescue(op, type(exc).__name__, args, kwargs)
+            if not _all_finite(self._inner.xp, result):
+                return self._rescue(op, "non-finite", args, kwargs)
+            return result
+
+        return wrapped

@@ -1,0 +1,157 @@
+"""Backend registry: named factories, auto-detection, active selection.
+
+The active backend is process-/context-local (a ``contextvars``
+variable) and defaults to numpy; solver entry points wrap their bodies
+in :func:`use_backend` with the name carried by their options object,
+so the selection plumbs end-to-end (``VFOptions.backend``,
+``EnforcementOptions.backend``, ``ScenarioSpec.backend``,
+``--backend`` on the CLI) without any global mutable state leaking
+across campaign workers.
+
+``"auto"`` resolves to the first *importable* accelerator library in
+preference order (cupy, then jax) and otherwise numpy, so machines
+without a device silently keep today's exact behavior.  Device
+backends are wrapped in
+:class:`~repro.backend.device.ResilientBackend` at construction: a
+raising or non-finite device primitive re-runs on numpy and bumps the
+``fallback.backend`` counter.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import importlib.util
+from typing import Any, Callable, Iterator
+
+from repro import obs
+from repro.backend.numpy_backend import NumpyBackend
+
+__all__ = [
+    "KNOWN_BACKENDS", "register_backend", "available_backends",
+    "get_backend", "active_backend", "use_backend", "resolve_backend_name",
+    "validate_backend_name",
+]
+
+#: Names accepted by every ``backend=`` option (besides "auto").
+KNOWN_BACKENDS = ("numpy", "cupy", "jax", "array_api_strict")
+
+#: Auto-detection preference order for "auto".
+_AUTO_ORDER = ("cupy", "jax")
+
+
+def _make_numpy() -> Any:
+    return NumpyBackend()
+
+
+def _make_cupy() -> Any:
+    from repro.backend.device import CupyBackend, ResilientBackend
+    return ResilientBackend(CupyBackend())
+
+
+def _make_jax() -> Any:
+    from repro.backend.device import JaxBackend, ResilientBackend
+    return ResilientBackend(JaxBackend())
+
+
+def _make_array_api_strict() -> Any:
+    from repro.backend.device import ArrayApiStrictBackend
+    return ArrayApiStrictBackend()
+
+
+_FACTORIES: dict[str, Callable[[], Any]] = {
+    "numpy": _make_numpy,
+    "cupy": _make_cupy,
+    "jax": _make_jax,
+    "array_api_strict": _make_array_api_strict,
+}
+_INSTANCES: dict[str, Any] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Any]) -> None:
+    """Register (or replace) a named backend factory."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered names whose library is importable right now."""
+    names = []
+    for name in _FACTORIES:
+        module = {"numpy": "numpy", "cupy": "cupy", "jax": "jax",
+                  "array_api_strict": "array_api_strict"}.get(name)
+        if module is None or importlib.util.find_spec(module) is not None:
+            names.append(name)
+    return tuple(names)
+
+
+def resolve_backend_name(name: str | None) -> str:
+    """Concrete backend name for ``name`` (``None``/"auto" detect)."""
+    if name in (None, "auto"):
+        for candidate in _AUTO_ORDER:
+            if importlib.util.find_spec(candidate) is not None:
+                return candidate
+        return "numpy"
+    return name
+
+
+def validate_backend_name(name: str) -> str:
+    """``name`` when legal for an options field; raise otherwise."""
+    legal = ("auto",) + tuple(_FACTORIES)
+    if name not in legal:
+        raise ValueError(
+            f"backend must be one of {legal}, got {name!r}")
+    return name
+
+
+def get_backend(name: str | None = "auto") -> Any:
+    """The (cached) backend instance for ``name``.
+
+    Raises an ``ImportError`` naming the pyproject extra when the
+    resolved backend's library is not installed.
+    """
+    resolved = resolve_backend_name(name)
+    if resolved not in _FACTORIES:
+        raise ValueError(
+            f"unknown backend {resolved!r}; registered: "
+            f"{tuple(_FACTORIES)}")
+    instance = _INSTANCES.get(resolved)
+    if instance is None:
+        instance = _FACTORIES[resolved]()
+        _INSTANCES[resolved] = instance
+    return instance
+
+
+_ACTIVE: contextvars.ContextVar[Any | None] = contextvars.ContextVar(
+    "repro_backend_active", default=None)
+_DEFAULT = NumpyBackend()
+
+
+def active_backend() -> Any:
+    """The backend the current context routes dense numerics through."""
+    backend = _ACTIVE.get()
+    return _DEFAULT if backend is None else backend
+
+
+@contextlib.contextmanager
+def use_backend(name: str | Any | None = "auto") -> Iterator[Any]:
+    """Run the enclosed block with ``name`` as the active backend.
+
+    Accepts a registered name, "auto", ``None`` (keep the current
+    selection), or a backend instance.  Activating a non-numpy backend
+    emits a ``backend.active`` telemetry event and gauges its
+    selection, so traces record which device ran the kernels.
+    """
+    if name is None:
+        yield active_backend()
+        return
+    backend = name if not isinstance(name, str) else get_backend(name)
+    if backend.name != "numpy":
+        obs.emit("backend.active", backend=backend.name,
+                 device=backend.device)
+        obs.gauge(f"backend.active.{backend.name}", 1)
+    token = _ACTIVE.set(backend)
+    try:
+        yield backend
+    finally:
+        _ACTIVE.reset(token)

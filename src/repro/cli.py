@@ -121,6 +121,7 @@ def _flow_options(args: argparse.Namespace) -> FlowOptions:
             n_poles=args.poles,
             dc_exact=args.dc_exact,
             kernel=args.kernel,
+            backend=args.backend,
         ),
         weight_mode=args.weight_mode,
         refinement_rounds=args.refinement_rounds,
@@ -128,6 +129,7 @@ def _flow_options(args: argparse.Namespace) -> FlowOptions:
         enforcement=EnforcementOptions(
             checker_strategy=_checker_strategy(args),
             exact_every=args.exact_every,
+            backend=args.backend,
         ),
     )
 
@@ -138,6 +140,7 @@ def _repro_config(args: argparse.Namespace) -> ReproConfig:
         flow=_flow_options(args),
         ingest=_conditioning_options(args),
         validation=ValidationOptions(low_band_hz=args.low_band_hz),
+        backend=args.backend,
     )
 
 
@@ -335,6 +338,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.observe_port is not None:
         scenarios = [
             replace(s, observe_port=args.observe_port) for s in scenarios
+        ]
+    if args.backend is not None:
+        scenarios = [
+            replace(s, backend=args.backend) for s in scenarios
         ]
     overrides = _external_overrides(args)
     if overrides:
@@ -563,6 +570,14 @@ def _flow_parent() -> argparse.ArgumentParser:
         help="vector-fitting kernel: stacked batched LAPACK (default) or "
         "the per-column reference loops",
     )
+    parent.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "cupy", "jax", "array_api_strict"],
+        default="auto",
+        help="array backend for the dense kernels: auto (default; prefers "
+        "an installed accelerator backend), numpy, cupy, jax or "
+        "array_api_strict",
+    )
     parent.add_argument("--weight-mode", choices=["relative", "absolute"],
                         default="relative")
     parent.add_argument("--refinement-rounds", type=int, default=3)
@@ -686,6 +701,13 @@ def build_parser() -> argparse.ArgumentParser:
         "divided by the worker count; prevents oversubscription)",
     )
     _add_checker_flags(p_camp, override=True)
+    p_camp.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "cupy", "jax", "array_api_strict"],
+        default=None,
+        help="array backend for every scenario's dense kernels "
+        "(overrides the campaign spec; default: leave spec values)",
+    )
     p_camp.add_argument(
         "--profile", action="store_true",
         help="print each run's per-stage pipeline timings and enforcement "

@@ -24,8 +24,8 @@ extension for per-element weighting schemes.
 from __future__ import annotations
 
 import numpy as np
-import scipy.linalg
 
+from repro.backend import active_backend
 from repro.statespace.gramians import controllability_gramian
 from repro.statespace.poleresidue import PoleResidueModel
 
@@ -91,8 +91,11 @@ class BlockDiagonalCost:
             np.einsum("abii->ab", self._blocks) / self._n, 1e-300
         )
         shifted = self._blocks + (self._ridge * scale)[:, :, None, None] * eye
+        backend = active_backend()
         try:
-            self._chol = np.linalg.cholesky(shifted)
+            self._chol = backend.from_device(
+                backend.cholesky(backend.asarray(shifted))
+            )
             return
         except np.linalg.LinAlgError:
             pass
@@ -146,8 +149,9 @@ class BlockDiagonalCost:
     def solve(self, a: int, b: int, rhs: np.ndarray) -> np.ndarray:
         """Solve G_ab x = rhs (rhs may have multiple columns)."""
         key = (0, 0) if self._shared else (a, b)
-        return scipy.linalg.cho_solve(
-            (self._chol[key], True), rhs, check_finite=False
+        backend = active_backend()
+        return backend.from_device(
+            backend.cho_solve(backend.asarray(self._chol[key]), rhs)
         )
 
     def solve_all(self, rhs: np.ndarray) -> np.ndarray:
@@ -166,20 +170,21 @@ class BlockDiagonalCost:
         if rhs.shape[:3] != (p, p, n):
             raise ValueError(f"rhs must have shape ({p},{p},{n}[,K])")
         k = rhs.shape[3]
+        backend = active_backend()
         if self._shared:
             stacked = rhs.transpose(2, 0, 1, 3).reshape(n, p * p * k)
-            out = scipy.linalg.cho_solve(
-                (self._chol[0, 0], True), stacked, check_finite=False
+            out = backend.from_device(
+                backend.cho_solve(backend.asarray(self._chol[0, 0]), stacked)
             )
             out = out.reshape(n, p, p, k).transpose(1, 2, 0, 3)
         else:
             out = np.empty_like(rhs)
             for a in range(p):
                 for b in range(p):
-                    out[a, b] = scipy.linalg.cho_solve(
-                        (self._chol[a, b], True),
-                        rhs[a, b],
-                        check_finite=False,
+                    out[a, b] = backend.from_device(
+                        backend.cho_solve(
+                            backend.asarray(self._chol[a, b]), rhs[a, b]
+                        )
                     )
         return out[..., 0] if squeeze else out
 
@@ -303,12 +308,23 @@ def sampled_norm_cost(
         theta[:] = 1.0
     # Batched kernels k(omega) = (j omega I - A_e)^-1 b_e, then one
     # weighted sum of rank-1 terms.
+    backend = active_backend()
     systems = 1j * omega[:, None, None] * eye - a_e
-    kernels = np.linalg.solve(systems, b_e.astype(complex)[None, :, None])[
-        ..., 0
-    ]
+    kernels = backend.from_device(
+        backend.solve(
+            backend.asarray(systems),
+            backend.asarray(b_e.astype(complex)[None, :, None]),
+        )
+    )[..., 0]
     coeff = (theta / (2.0 * np.pi)) * weights**2
     block = np.real(
-        np.einsum("k,km,kn->mn", coeff, np.conj(kernels), kernels)
+        backend.from_device(
+            backend.einsum(
+                "k,km,kn->mn",
+                backend.asarray(coeff),
+                backend.asarray(np.conj(kernels)),
+                backend.asarray(kernels),
+            )
+        )
     )
     return BlockDiagonalCost(block, model.n_ports, ridge=ridge)

@@ -23,10 +23,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import use_backend, validate_backend_name
 from repro.obs import telemetry as obs
 from repro.passivity.check import PassivityReport
 from repro.passivity.cost import BlockDiagonalCost
-from repro.passivity.engine import CheckerOptions, PassivityChecker
+from repro.passivity.engine import CheckerOptions, PassivityChecker, is_reciprocal
 from repro.passivity.perturbation import build_constraints
 from repro.passivity.qp import solve_block_qp
 from repro.resilience import faultinject
@@ -76,6 +77,11 @@ class EnforcementOptions:
         certified worst-sigma so far) tolerated before the loop stops
         early and falls back to the best iterate.  Catches diverging and
         oscillating runs without waiting out the iteration cap.
+    backend:
+        Array backend the dense kernels of this run execute on
+        (``"auto"``/``"numpy"``/``"cupy"``/``"jax"``; see
+        :mod:`repro.backend`).  ``"auto"`` picks the first available
+        accelerator and otherwise numpy.
     """
 
     max_iterations: int = 30
@@ -87,6 +93,7 @@ class EnforcementOptions:
     checker_strategy: str = "fast"
     exact_every: int = 5
     divergence_patience: int = 3
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -101,6 +108,7 @@ class EnforcementOptions:
             raise ValueError("checker_strategy must be 'fast' or 'exact'")
         if self.exact_every < 0:
             raise ValueError("exact_every must be non-negative")
+        validate_backend_name(self.backend)
 
     def checker_options(self) -> CheckerOptions:
         """Engine configuration implied by these options."""
@@ -210,6 +218,21 @@ def enforce_passivity(
         ``"weighted"``) in telemetry convergence events.
     """
     options = options or EnforcementOptions()
+    with use_backend(options.backend):
+        return _run_enforcement(
+            model, cost, options,
+            initial_report=initial_report, cost_label=cost_label,
+        )
+
+
+def _run_enforcement(
+    model: PoleResidueModel,
+    cost: BlockDiagonalCost,
+    options: EnforcementOptions,
+    *,
+    initial_report: PassivityReport | None,
+    cost_label: str,
+) -> EnforcementResult:
     if cost.n_ports != model.n_ports:
         raise ValueError("cost and model disagree on port count")
     if cost.n_states != model.element_state_dimension():
@@ -245,6 +268,12 @@ def enforce_passivity(
         mode="initial",
     )
     current = model
+    # Reciprocal input (the physical PDN case): symmetrized constraint
+    # rows make every QP step exactly symmetry-preserving, so all
+    # iterates stay eligible for the checker's half-size Hamiltonian
+    # test.  First-order constraint semantics are unchanged (the
+    # antisymmetric part of a row is orthogonal to symmetric steps).
+    reciprocal = is_reciprocal(model)
     total_delta = np.zeros(
         (model.n_ports, model.n_ports, model.element_state_dimension())
     )
@@ -267,6 +296,7 @@ def enforce_passivity(
             frequencies,
             margin=options.margin,
             include_threshold=options.include_threshold,
+            symmetric=reciprocal,
         )
         constraint_s = time.perf_counter() - tic
 

@@ -37,6 +37,9 @@ from repro.passivity.check import (
 from repro.resilience import faultinject
 from repro.resilience.errors import CheckerError, ReproError
 from repro.statespace.hamiltonian import (
+    half_size_crossings,
+    half_size_from_invariants,
+    half_size_invariants,
     hamiltonian_from_invariants,
     hamiltonian_invariants,
     imaginary_crossings,
@@ -44,6 +47,31 @@ from repro.statespace.hamiltonian import (
 from repro.statespace.poleresidue import PoleResidueModel
 
 _KNOWN_POINTS_CAP = 256
+
+#: Relative symmetry defect below which a model counts as reciprocal --
+#: the half-size test's sigma error is O(defect), far inside the 1e-4
+#: crossing-verification tolerance.
+_RECIPROCAL_RTOL = 1e-8
+
+
+def _symmetry_defect(matrix: np.ndarray) -> float:
+    """Relative distance of (each slice of) ``matrix`` from symmetry."""
+    scale = float(np.max(np.abs(matrix))) if matrix.size else 0.0
+    if scale == 0.0:
+        return 0.0
+    if matrix.ndim == 2:
+        defect = float(np.max(np.abs(matrix - matrix.T)))
+    else:
+        defect = float(np.max(np.abs(matrix - matrix.transpose(0, 2, 1))))
+    return defect / scale
+
+
+def is_reciprocal(model: PoleResidueModel, *, rtol: float = _RECIPROCAL_RTOL) -> bool:
+    """Whether the model's response matrix is symmetric (S = S^T)."""
+    return (
+        _symmetry_defect(model._const) <= rtol
+        and _symmetry_defect(model._residues) <= rtol
+    )
 
 
 @dataclass(frozen=True)
@@ -133,16 +161,29 @@ class PassivityChecker:
         self._omega_floor = min(max(floor, 1e-300), self.omega_cap * 1e-3)
 
         self._invariants = None
+        self._half_invariants = None
         if self._asymptotic < 1.0:
             a_e, b_e = model.element_dynamics()
             eye = np.eye(model.n_ports)
+            a = np.kron(a_e, eye)
+            b = np.kron(b_e[:, None], eye)
             self._invariants = hamiltonian_invariants(
-                np.kron(a_e, eye), np.kron(b_e[:, None], eye), self._const,
-                gamma=1.0,
+                a, b, self._const, gamma=1.0,
             )
+            if _symmetry_defect(self._const) <= _RECIPROCAL_RTOL:
+                # Reciprocal family (symmetric D): cache the half-size
+                # factors too; whether a given iterate may use them is
+                # re-decided per check from its residue symmetry.
+                try:
+                    self._half_invariants = half_size_invariants(
+                        a, b, self._const, gamma=1.0,
+                    )
+                except ValueError:
+                    self._half_invariants = None
         self._known_points = np.zeros(0)
         self.n_exact_checks = 0
         self.n_sampling_checks = 0
+        self.n_half_size_checks = 0
 
     # ------------------------------------------------------------------
     # Strategy
@@ -195,21 +236,43 @@ class PassivityChecker:
 
         Equivalent to :func:`repro.passivity.check.check_passivity` (same
         crossings, bands and worst singular value) at a fraction of the
-        per-call setup cost.
+        per-call setup cost.  Reciprocal iterates (symmetric residues and
+        constant term, the physical PDN case) take the half-size
+        structured test -- an n x n eigensolve instead of 2n x 2n; any
+        iterate that drifted off symmetry falls back to the full
+        Hamiltonian, so the certificate never depends on reciprocity.
         """
         self._validate(model)
         self.n_exact_checks += 1
         obs.incr("checker.exact_checks")
         if self._asymptotic >= 1.0:
             return asymptotic_violation_report(model, self._asymptotic)
-        m = hamiltonian_from_invariants(
-            self._invariants, model.full_output_matrix()
+        use_half = (
+            self._half_invariants is not None
+            and _symmetry_defect(model._residues) <= _RECIPROCAL_RTOL
         )
-        with obs.span("kernel:hamiltonian_eig", n=int(m.shape[0])):
+        if use_half:
+            self.n_half_size_checks += 1
+            m = half_size_from_invariants(
+                self._half_invariants, model.full_output_matrix()
+            )
+        else:
+            m = hamiltonian_from_invariants(
+                self._invariants, model.full_output_matrix()
+            )
+        with obs.span(
+            "kernel:hamiltonian_eig", n=int(m.shape[0]),
+            half_size=bool(use_half),
+        ):
             try:
-                crossings = imaginary_crossings(
-                    m, model.frequency_response, 1.0
-                )
+                if use_half:
+                    crossings = half_size_crossings(
+                        m, model.frequency_response, 1.0
+                    )
+                else:
+                    crossings = imaginary_crossings(
+                        m, model.frequency_response, 1.0
+                    )
             except np.linalg.LinAlgError as exc:
                 raise CheckerError(
                     f"Hamiltonian eigendecomposition failed: {exc}",

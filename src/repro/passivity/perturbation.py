@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.statespace.poleresidue import PoleResidueModel
 
 
@@ -104,6 +105,7 @@ def build_constraints(
     *,
     margin: float = 1e-6,
     include_threshold: float = 0.999,
+    symmetric: bool = False,
 ) -> ConstraintSet:
     """Assemble linearized constraints at the given angular frequencies.
 
@@ -111,6 +113,15 @@ def build_constraints(
     constrained to end up below 1 - margin; constraining the near-violating
     values too prevents the perturbation from pushing a previously safe
     singular value over the limit.
+
+    ``symmetric=True`` (reciprocal models) symmetrizes each row's port
+    factor, ``w <- (w + w^T) / 2`` over the (P, P) port block.  For a
+    symmetric S this changes nothing to first order -- perturbations
+    produced against these constraints are themselves symmetric, and the
+    antisymmetric part of ``w`` is orthogonal to symmetric ``delta_c`` --
+    but it makes the minimum-norm QP step exactly reciprocity-preserving,
+    which keeps every enforcement iterate eligible for the half-size
+    Hamiltonian test.
     """
     frequencies = np.atleast_1d(np.asarray(frequencies, dtype=float))
     p = model.n_ports
@@ -128,12 +139,19 @@ def build_constraints(
         return empty
 
     # Batched SVDs and element kernels over all frequencies at once.
+    backend = active_backend()
     responses = model.frequency_response(frequencies)  # (K, P, P)
-    u, sigma, vh = np.linalg.svd(responses)
+    u, sigma, vh = (
+        backend.from_device(part)
+        for part in backend.svd(backend.asarray(responses))
+    )
     systems = 1j * frequencies[:, None, None] * eye - a_e
-    kernels = np.linalg.solve(systems, b_e.astype(complex)[None, :, None])[
-        ..., 0
-    ]  # (K, N)
+    kernels = backend.from_device(
+        backend.solve(
+            backend.asarray(systems),
+            backend.asarray(b_e.astype(complex)[None, :, None]),
+        )
+    )[..., 0]  # (K, N)
 
     # Row order matches the scalar loop: frequency-major, then singular
     # values in descending order (numpy's nonzero is row-major).
@@ -145,7 +163,10 @@ def build_constraints(
     # Coefficient of delta_c_ab in delta sigma_i (paper eq. 8):
     #   Re{ conj(u[a,i]) * conj(v[b,i]) * kernel[n] } = Re(w (x) k).
     # Only the factors are stored; the dense matrix is built on demand.
-    w = np.einsum("ma,mb->mab", u_sel, v_sel).reshape(k_idx.size, p * p)
+    w = np.einsum("ma,mb->mab", u_sel, v_sel)
+    if symmetric:
+        w = 0.5 * (w + w.transpose(0, 2, 1))
+    w = w.reshape(k_idx.size, p * p)
     return ConstraintSet(
         matrix=None,
         bounds=(1.0 - margin) - sigma[k_idx, i_idx],

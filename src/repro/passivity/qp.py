@@ -40,6 +40,14 @@ structures instead:
 The dense route (explicit M + scipy NNLS, the pre-engine code path)
 remains both as the fallback and as the solver for per-element
 (non-shared) costs, whose H^-1 does not factor over the tensor structure.
+
+Backend note: the QP's heavy dense work -- every ``H^-1`` application,
+i.e. the Cholesky solves behind :class:`_StructuredOps`'s kernel tables
+and the primal recovery -- runs on the active array backend through
+:meth:`BlockDiagonalCost.solve` (see :mod:`repro.backend`).  The
+active-set bookkeeping and the tiny working-set NNLS solves stay on host
+LAPACK deliberately: they operate on working sets of at most a few dozen
+rows, where device dispatch overhead dwarfs the arithmetic.
 """
 
 from __future__ import annotations

@@ -63,7 +63,11 @@ def solve_hermitian_psd(
         except scipy.linalg.LinAlgError:
             bump = scale * 10.0 ** (-12 + 3 * attempt)
             shifted = matrix + bump * np.eye(n)
-    # Last resort: least-squares pseudo-solve.
+    # Last resort: least-squares pseudo-solve.  Counted so near-singular
+    # cost matrices show up in traces instead of degrading silently.
+    from repro.obs import telemetry as obs
+
+    obs.incr("fallback.psd_lstsq")
     solution, *_ = np.linalg.lstsq(matrix, rhs, rcond=None)
     return solution
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.obs import telemetry as obs
 
 #: Relative diagonal threshold below which a QR-compressed slice is
@@ -59,7 +60,10 @@ def scaled_lstsq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     residue identification); the result is then ``(C, M)``.
     """
     norms = column_scales(a)
-    solution, *_ = np.linalg.lstsq(a / norms, b, rcond=None)
+    backend = active_backend()
+    solution = backend.from_device(
+        backend.lstsq(backend.asarray(a / norms), backend.asarray(b))
+    )
     if solution.ndim == 1:
         return solution / norms
     return solution / norms[:, None]
@@ -85,9 +89,12 @@ def batched_qr_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         # (never hit by the VF call sites) so no batching effort.
         return np.stack([scaled_lstsq(a[i], b[i]) for i in range(m)])
     norms = column_scales(a)
+    backend = active_backend()
     scaled = a / norms[:, None, :]
-    r = np.linalg.qr(
-        np.concatenate([scaled, b[:, :, None]], axis=2), mode="r"
+    r = backend.from_device(
+        backend.qr_r(
+            backend.asarray(np.concatenate([scaled, b[:, :, None]], axis=2))
+        )
     )
     r11 = r[:, :cols, :cols]
     rhs = r[:, :cols, cols]
@@ -95,7 +102,11 @@ def batched_qr_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     ok = diag.min(axis=1) > _RANK_TOL * np.maximum(diag.max(axis=1), 1e-300)
     solution = np.empty((m, cols))
     if np.any(ok):
-        solution[ok] = np.linalg.solve(r11[ok], rhs[ok, :, None])[:, :, 0]
+        solution[ok] = backend.from_device(
+            backend.solve(
+                backend.asarray(r11[ok]), backend.asarray(rhs[ok, :, None])
+            )
+        )[:, :, 0]
     for index in np.flatnonzero(~ok):
         solution[index], *_ = np.linalg.lstsq(
             scaled[index], b[index], rcond=None

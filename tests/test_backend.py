@@ -1,0 +1,290 @@
+"""Backend layer tests: registry behaviour, NumpyBackend equivalence
+against the legacy direct-call oracle, the resilient numpy fallback, and
+the structured half-size Hamiltonian eigensolve."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.backend import (
+    KNOWN_BACKENDS,
+    NumpyBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    resolve_backend_name,
+    use_backend,
+    validate_backend_name,
+)
+from repro.backend.device import ResilientBackend, missing_backend_error
+from repro.obs import telemetry_session
+from repro.passivity.cost import BlockDiagonalCost
+from repro.statespace.hamiltonian import (
+    half_size_crossings,
+    half_size_from_invariants,
+    half_size_invariants,
+    imaginary_eigenvalue_frequencies,
+)
+from repro.statespace.poleresidue import PoleResidueModel
+from repro.vectfit import kernels
+from tests.conftest import make_random_stable_model
+
+
+def rel_rms(a, b):
+    a, b = np.asarray(a), np.asarray(b)
+    scale = max(float(np.sqrt(np.mean(np.abs(b) ** 2))), 1e-300)
+    return float(np.sqrt(np.mean(np.abs(a - b) ** 2))) / scale
+
+
+def make_reciprocal_model(seed=3, n_ports=3, n_pairs=4, boost=1.0):
+    """Random stable *reciprocal* model (symmetric residues and const)."""
+    rng = np.random.default_rng(seed)
+    model = make_random_stable_model(
+        rng, n_real=2, n_pairs=n_pairs, n_ports=n_ports
+    )
+    residues = 0.5 * (model.residues + model.residues.transpose(0, 2, 1))
+    const = 0.5 * (model.const + model.const.T) * 0.5
+    return PoleResidueModel(model.poles, residues * boost, const)
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+        assert resolve_backend_name("auto") in KNOWN_BACKENDS
+        assert resolve_backend_name(None) in KNOWN_BACKENDS
+        assert resolve_backend_name("numpy") == "numpy"
+
+    def test_validate_rejects_unknown(self):
+        validate_backend_name("auto")
+        for name in KNOWN_BACKENDS:
+            validate_backend_name(name)
+        with pytest.raises(ValueError, match="bogus"):
+            validate_backend_name("bogus")
+
+    def test_get_backend_is_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_use_backend_switches_and_restores(self):
+        before = active_backend()
+        with use_backend("numpy") as backend:
+            assert backend.name == "numpy"
+            assert active_backend() is backend
+        assert active_backend() is before
+
+    def test_use_backend_none_keeps_current(self):
+        with use_backend("numpy") as outer:
+            with use_backend(None) as inner:
+                assert inner is outer
+
+    def test_use_backend_accepts_instance(self):
+        instance = NumpyBackend()
+        with use_backend(instance) as backend:
+            assert backend is instance
+            assert active_backend() is instance
+
+    def test_missing_backend_error_names_extra(self):
+        error = missing_backend_error("cupy", "cupy", "gpu")
+        assert "cupy" in str(error)
+        assert "[gpu]" in str(error)
+
+    def test_unavailable_backend_raises_import_error(self):
+        missing = [
+            name
+            for name in ("cupy", "jax", "array_api_strict")
+            if name not in available_backends()
+        ]
+        if not missing:
+            pytest.skip("all optional backends installed")
+        with pytest.raises(ImportError, match="pip install"):
+            get_backend(missing[0])
+
+
+class TestNumpyBackendEquivalence:
+    """NumpyBackend delegates to the exact legacy calls: results must
+    match a direct-numpy replica to <= 1e-10 relative RMS (they are in
+    fact bit-identical)."""
+
+    def test_scaled_lstsq_matches_direct_solver(self):
+        rng = np.random.default_rng(0)
+        # Ill-conditioned columns, like a partial-fraction basis.
+        a = rng.normal(size=(60, 8)) * np.logspace(0, 8, 8)
+        b = rng.normal(size=(60, 3))
+        with use_backend("numpy"):
+            routed = kernels.scaled_lstsq(a, b)
+        norms = kernels.column_scales(a)
+        direct = np.linalg.lstsq(a / norms, b, rcond=None)[0] / norms[:, None]
+        assert rel_rms(routed, direct) <= 1e-10
+
+    def test_batched_qr_solve_matches_per_slice_lstsq(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(5, 40, 6)) * np.logspace(0, 5, 6)
+        b = rng.normal(size=(5, 40))
+        with use_backend("numpy"):
+            routed = kernels.batched_qr_solve(a, b)
+        oracle = np.stack(
+            [np.linalg.lstsq(a[i], b[i], rcond=None)[0] for i in range(5)]
+        )
+        assert rel_rms(routed, oracle) <= 1e-10
+
+    def test_cost_factorization_matches_scipy_cho_solve(self):
+        rng = np.random.default_rng(2)
+        n, p = 6, 2
+        m = rng.normal(size=(n, n))
+        gram = m @ m.T + n * np.eye(n)
+        ridge = 1e-10
+        with use_backend("numpy"):
+            cost = BlockDiagonalCost(gram, p, ridge=ridge)
+            rhs = rng.normal(size=(n, 4))
+            routed = cost.solve(0, 0, rhs)
+        shifted = gram + ridge * (np.trace(gram) / n) * np.eye(n)
+        cho = np.linalg.cholesky(shifted)
+        direct = scipy.linalg.cho_solve((cho, True), rhs, check_finite=False)
+        assert rel_rms(routed, direct) <= 1e-10
+
+    def test_primitives_match_library_calls(self):
+        rng = np.random.default_rng(3)
+        backend = NumpyBackend()
+        a = rng.normal(size=(4, 7, 7))
+        assert np.array_equal(backend.qr_r(a), np.linalg.qr(a, mode="r"))
+        assert np.array_equal(
+            backend.eigvals(a[0]), np.linalg.eigvals(a[0])
+        )
+        sym = a[1] @ a[1].transpose()
+        vals, vecs = backend.eigh(sym)
+        vals_np, vecs_np = np.linalg.eigh(sym)
+        assert np.array_equal(vals, vals_np)
+        assert np.array_equal(vecs, vecs_np)
+        assert np.array_equal(
+            backend.kron(a[0], a[1]), np.kron(a[0], a[1])
+        )
+        assert np.array_equal(
+            backend.einsum("ij,jk->ik", a[0], a[1]),
+            np.einsum("ij,jk->ik", a[0], a[1]),
+        )
+
+
+class TestHalfSizeHamiltonian:
+    def test_half_size_crossings_match_full_size(self):
+        model = make_reciprocal_model(seed=5, boost=1.9)
+        ss = model.to_state_space()
+        full = imaginary_eigenvalue_frequencies(
+            ss, gamma=1.0, response_fn=model.frequency_response
+        )
+        invariants = half_size_invariants(ss.a, ss.b, ss.d, gamma=1.0)
+        p = half_size_from_invariants(invariants, ss.c)
+        assert p.shape[0] == ss.a.shape[0]  # half of the 2N Hamiltonian
+        half = half_size_crossings(
+            p, model.frequency_response, gamma=1.0
+        )
+        assert half.size == full.size
+        if full.size:
+            assert np.max(np.abs(half - full) / np.maximum(full, 1.0)) <= 1e-6
+
+    def test_half_size_rejects_singular_gamma_shift(self):
+        model = make_reciprocal_model(seed=7)
+        ss = model.to_state_space()
+        d = np.eye(ss.d.shape[0])  # D - gamma*I singular at gamma = 1
+        with pytest.raises(ValueError):
+            half_size_invariants(ss.a, ss.b, d, gamma=1.0)
+
+    def test_engine_uses_half_size_only_for_reciprocal_models(self):
+        from repro.passivity.engine import CheckerOptions, PassivityChecker
+
+        model = make_reciprocal_model(seed=9, boost=1.9)
+        checker = PassivityChecker(
+            model, options=CheckerOptions(strategy="exact")
+        )
+        report = checker.check(model)
+        assert checker.n_half_size_checks == 1
+
+        rng = np.random.default_rng(11)
+        skewed = make_random_stable_model(rng, n_real=2, n_pairs=3, n_ports=3)
+        skewed = PoleResidueModel(
+            skewed.poles, skewed.residues, 0.5 * skewed.const
+        )
+        full_checker = PassivityChecker(
+            skewed, options=CheckerOptions(strategy="exact")
+        )
+        full_checker.check(skewed)
+        assert full_checker.n_half_size_checks == 0  # not reciprocal
+
+        # The half-size report agrees with the full-size oracle check.
+        from repro.passivity.check import check_passivity
+
+        oracle = check_passivity(model)
+        assert report.is_passive == oracle.is_passive
+        assert abs(report.worst_sigma - oracle.worst_sigma) <= 1e-6 * max(
+            oracle.worst_sigma, 1.0
+        )
+
+
+class TestResilientBackend:
+    class _FlakyBackend(NumpyBackend):
+        name = "flaky"
+        device = "test"
+
+        def eigvals(self, a, *, overwrite=False):
+            raise RuntimeError("device exploded")
+
+        def svd(self, a, *, compute_uv=True):
+            result = NumpyBackend.svd(self, a, compute_uv=compute_uv)
+            if compute_uv:
+                return result
+            return result * np.nan  # non-finite from finite input
+
+    def test_fallback_on_raise_and_counter(self, tmp_path):
+        wrapped = ResilientBackend(self._FlakyBackend())
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(5, 5))
+        with telemetry_session(tmp_path, label="t") as tel:
+            values = wrapped.eigvals(a)
+        assert np.array_equal(np.sort(values), np.sort(np.linalg.eigvals(a)))
+        assert tel.counters.get("fallback.backend") == 1
+
+    def test_fallback_on_nonfinite_result(self, tmp_path):
+        wrapped = ResilientBackend(self._FlakyBackend())
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(3, 4))
+        with telemetry_session(tmp_path, label="t") as tel:
+            sigma = wrapped.svd(a, compute_uv=False)
+        assert np.array_equal(
+            sigma, np.linalg.svd(a, compute_uv=False)
+        )
+        assert tel.counters.get("fallback.backend") == 1
+
+    def test_untouched_ops_pass_through(self):
+        wrapped = ResilientBackend(self._FlakyBackend())
+        assert wrapped.name == "flaky"
+        assert wrapped.device == "test"
+        a = np.arange(6.0).reshape(2, 3)
+        assert np.array_equal(wrapped.asarray(a), a)
+
+
+class TestArrayApiStrictSmoke:
+    """Compatibility smoke: the routed kernels agree with numpy when run
+    through the strict array-api backend (skipped when not installed)."""
+
+    def test_kernels_agree_with_numpy(self):
+        pytest.importorskip("array_api_strict")
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(30, 5)) * np.logspace(0, 4, 5)
+        b = rng.normal(size=30)
+        with use_backend("numpy"):
+            reference = kernels.scaled_lstsq(a, b)
+        with use_backend("array_api_strict"):
+            strict = kernels.scaled_lstsq(a, b)
+        assert rel_rms(strict, reference) <= 1e-10
+
+    def test_half_size_crossings_agree_with_numpy(self):
+        pytest.importorskip("array_api_strict")
+        model = make_reciprocal_model(seed=8, boost=1.9)
+        ss = model.to_state_space()
+        invariants = half_size_invariants(ss.a, ss.b, ss.d, gamma=1.0)
+        p = half_size_from_invariants(invariants, ss.c)
+        with use_backend("numpy"):
+            reference = half_size_crossings(p, model.frequency_response)
+        with use_backend("array_api_strict"):
+            strict = half_size_crossings(p, model.frequency_response)
+        assert strict.size == reference.size
+        if reference.size:
+            assert rel_rms(strict, reference) <= 1e-8
