@@ -19,7 +19,7 @@ from repro.circuits.components import (
 )
 from repro.circuits.mna import ACAnalysis
 from repro.pdn.builder import build_circuit
-from repro.pdn.geometry import ConnectionSpec, PDNGeometry, PlaneSpec, PortSpec
+from repro.pdn.geometry import PDNGeometry, PlaneSpec, PortSpec
 from repro.pdn.termination import TerminationNetwork
 from repro.sensitivity.zpdn import target_impedance
 from repro.util.linalg import log_spaced_frequencies

@@ -10,7 +10,6 @@ wrong settled droop level.
 Run:  python examples/transient_droop.py
 """
 
-import numpy as np
 
 from repro import MacromodelingFlow, make_paper_testcase
 from repro.timedomain import close_loop, simulate_transient

@@ -68,7 +68,7 @@ _NESTED_OPTIONS: dict[type, dict[str, type]] = {
 }
 
 
-def _encode_leaf(value):
+def _encode_leaf(value: object) -> object:
     if isinstance(value, np.ndarray):
         # Complex pole arrays as [re, im] pairs (VFOptions.initial_poles).
         stacked = np.stack(
@@ -84,7 +84,7 @@ def _encode_leaf(value):
     return value
 
 
-def options_to_dict(options) -> dict:
+def options_to_dict(options: object) -> dict:
     """JSON-compatible dict of one option dataclass (recursing nested ones)."""
     payload = {}
     for spec in fields(options):
@@ -96,7 +96,7 @@ def options_to_dict(options) -> dict:
     return payload
 
 
-def options_from_dict(cls: type, payload: dict, *, path: str = ""):
+def options_from_dict(cls: type, payload: dict, *, path: str = "") -> object:
     """Reconstruct an option dataclass from :func:`options_to_dict` output.
 
     Unknown keys raise :class:`ValueError` with the full nested path;
@@ -129,7 +129,7 @@ def options_from_dict(cls: type, payload: dict, *, path: str = ""):
     return cls(**kwargs)
 
 
-def options_token(options) -> str:
+def options_token(options: object) -> str:
     """Canonical JSON string of an option dataclass (stage cache keys)."""
     return json.dumps(
         options_to_dict(options), sort_keys=True, separators=(",", ":")
@@ -235,7 +235,7 @@ class ReproConfig:
             f"{type(value).__name__}"
         )
 
-    def replace(self, **changes) -> "ReproConfig":
+    def replace(self, **changes: object) -> "ReproConfig":
         """Functional update (frozen dataclass convenience)."""
         return dataclasses.replace(self, **changes)
 

@@ -37,6 +37,7 @@ from repro.passivity.check import PassivityReport, check_passivity
 from repro.passivity.cost import l2_gramian_cost
 from repro.passivity.enforce import EnforcementResult, enforce_passivity
 from repro.pdn.termination import TerminationNetwork
+from repro.resilience.errors import IngestError, StageOutputError
 from repro.sensitivity.firstorder import sensitivity_analytic
 from repro.sensitivity.weighted_norm import sensitivity_weighted_cost
 from repro.sensitivity.weightmodel import SensitivityWeight, build_weight_model
@@ -118,21 +119,26 @@ def compute_base_weights(
     """
     xi = np.asarray(xi, dtype=float)
     if not np.all(np.isfinite(xi)):
-        raise ValueError("sensitivity contains non-finite entries")
+        raise StageOutputError(
+            "sensitivity contains non-finite entries", stage="weighting"
+        )
     if options.weight_mode == "relative":
         ref_abs = np.abs(np.asarray(reference))
         peak_ref = float(np.max(ref_abs, initial=0.0))
         if not np.isfinite(peak_ref) or peak_ref <= 0.0:
-            raise ValueError(
+            raise StageOutputError(
                 "reference impedance is zero or non-finite; relative "
-                "weighting is undefined (use weight_mode='absolute')"
+                "weighting is undefined (use weight_mode='absolute')",
+                stage="weighting",
             )
         raw = xi / np.maximum(ref_abs, 1e-12 * peak_ref)
     else:
         raw = xi.copy()
     peak = float(np.max(raw, initial=0.0))
     if not np.isfinite(peak):
-        raise ValueError("sensitivity weights overflowed to non-finite")
+        raise StageOutputError(
+            "sensitivity weights overflowed to non-finite", stage="weighting"
+        )
     if peak <= 0.0:
         return np.ones_like(raw)
     normalized = raw / peak
@@ -286,7 +292,6 @@ class IngestStage(PipelineStage):
 
     def run(self, config: ReproConfig, inputs: dict) -> dict:
         from repro.ingest import build_termination, load_network
-        from repro.resilience.errors import IngestError
 
         try:
             data, report = load_network(self.source, config.ingest)
@@ -331,7 +336,9 @@ class StandardFitStage(PipelineStage):
     def run(self, config: ReproConfig, inputs: dict) -> dict:
         data: NetworkData = inputs["network"]
         if data.kind != "s":
-            raise ValueError("the flow expects scattering data")
+            raise IngestError(
+                "the flow expects scattering data", stage=self.name
+            )
         return {
             "standard_fit": vector_fit(
                 data.omega, data.samples, options=config.flow.vf

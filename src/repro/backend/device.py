@@ -18,7 +18,6 @@ from typing import Any
 
 import numpy as np
 
-from repro import obs
 from repro.backend.numpy_backend import NumpyBackend
 
 __all__ = ["CupyBackend", "JaxBackend", "ArrayApiStrictBackend",
@@ -33,7 +32,7 @@ def missing_backend_error(name: str, module: str, extra: str) -> ImportError:
     )
 
 
-def _import_or_raise(name: str, module: str, extra: str):
+def _import_or_raise(name: str, module: str, extra: str) -> Any:
     try:
         return importlib.import_module(module)
     except ImportError as exc:
@@ -93,7 +92,7 @@ class CupyBackend:
     def inv(self, a: Any) -> Any:
         return self._cp.linalg.inv(a)
 
-    def svd(self, a: Any, *, compute_uv: bool = True):
+    def svd(self, a: Any, *, compute_uv: bool = True) -> Any:
         return self._cp.linalg.svd(a, compute_uv=compute_uv)
 
     def eigvals(self, a: Any, *, overwrite: bool = False) -> Any:
@@ -101,14 +100,14 @@ class CupyBackend:
         values = self._host.eigvals(self.from_device(a))
         return self._cp.asarray(values)
 
-    def eig(self, a: Any):
+    def eig(self, a: Any) -> Any:
         values, vectors = self._host.eig(self.from_device(a))
         return self._cp.asarray(values), self._cp.asarray(vectors)
 
-    def eigh(self, a: Any):
+    def eigh(self, a: Any) -> Any:
         return self._cp.linalg.eigh(a)
 
-    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any):
+    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any) -> Any:
         return self._cp.einsum(subscripts, *operands, **kwargs)
 
     def kron(self, a: Any, b: Any) -> Any:
@@ -169,20 +168,20 @@ class JaxBackend:
     def inv(self, a: Any) -> Any:
         return self._jnp.linalg.inv(a)
 
-    def svd(self, a: Any, *, compute_uv: bool = True):
+    def svd(self, a: Any, *, compute_uv: bool = True) -> Any:
         return self._jnp.linalg.svd(a, compute_uv=compute_uv)
 
     def eigvals(self, a: Any, *, overwrite: bool = False) -> Any:
         del overwrite
         return self._jnp.linalg.eigvals(a)
 
-    def eig(self, a: Any):
+    def eig(self, a: Any) -> Any:
         return self._jnp.linalg.eig(a)
 
-    def eigh(self, a: Any):
+    def eigh(self, a: Any) -> Any:
         return self._jnp.linalg.eigh(a)
 
-    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any):
+    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any) -> Any:
         return self._jnp.einsum(subscripts, *operands, **kwargs)
 
     def kron(self, a: Any, b: Any) -> Any:
@@ -247,7 +246,7 @@ class ArrayApiStrictBackend:
     def inv(self, a: Any) -> Any:
         return self._xp.linalg.inv(a)
 
-    def svd(self, a: Any, *, compute_uv: bool = True):
+    def svd(self, a: Any, *, compute_uv: bool = True) -> Any:
         if compute_uv:
             u, s, vh = self._xp.linalg.svd(a)
             return u, s, vh
@@ -257,15 +256,15 @@ class ArrayApiStrictBackend:
         del overwrite
         return self.asarray(self._host.eigvals(self.from_device(a)))
 
-    def eig(self, a: Any):
+    def eig(self, a: Any) -> Any:
         values, vectors = self._host.eig(self.from_device(a))
         return self.asarray(values), self.asarray(vectors)
 
-    def eigh(self, a: Any):
+    def eigh(self, a: Any) -> Any:
         result = self._xp.linalg.eigh(a)
         return result.eigenvalues, result.eigenvectors
 
-    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any):
+    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any) -> Any:
         host = self._host.einsum(
             subscripts, *[self.from_device(op) for op in operands], **kwargs)
         return self.asarray(host)
@@ -330,7 +329,12 @@ class ResilientBackend:
             for arg in args
         )
 
-    def _rescue(self, op: str, reason: str, args: tuple, kwargs: dict):
+    def _rescue(self, op: str, reason: str, args: tuple, kwargs: dict) -> Any:
+        # Late import keeps the backend layer import-time independent of
+        # repro.obs (telemetry-hook pattern, cf. repro.util.linalg); the
+        # rescue path is already the slow path, so the lookup is free.
+        from repro.obs import telemetry as obs
+
         obs.incr("fallback.backend")
         obs.emit("backend.fallback", backend=self.name, op=op,
                  reason=reason)
@@ -341,7 +345,7 @@ class ResilientBackend:
             raise AttributeError(op)
         inner_op = getattr(self._inner, op)
 
-        def wrapped(*args: Any, **kwargs: Any):
+        def wrapped(*args: Any, **kwargs: Any) -> Any:
             try:
                 result = inner_op(*args, **kwargs)
             except Exception as exc:  # noqa: BLE001 -- any device failure

@@ -61,7 +61,7 @@ class NumpyBackend:
         return np.linalg.inv(a)
 
     # -- spectral ----------------------------------------------------
-    def svd(self, a: Any, *, compute_uv: bool = True):
+    def svd(self, a: Any, *, compute_uv: bool = True) -> Any:
         return np.linalg.svd(a, compute_uv=compute_uv)
 
     def eigvals(self, a: Any, *, overwrite: bool = False) -> np.ndarray:
@@ -79,7 +79,7 @@ class NumpyBackend:
         return np.linalg.eigh(a)
 
     # -- contractions ------------------------------------------------
-    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any):
+    def einsum(self, subscripts: str, *operands: Any, **kwargs: Any) -> np.ndarray:
         return np.einsum(subscripts, *operands, **kwargs)
 
     def kron(self, a: Any, b: Any) -> np.ndarray:

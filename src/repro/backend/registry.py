@@ -24,7 +24,6 @@ import contextvars
 import importlib.util
 from typing import Any, Callable, Iterator
 
-from repro import obs
 from repro.backend.numpy_backend import NumpyBackend
 
 __all__ = [
@@ -147,6 +146,11 @@ def use_backend(name: str | Any | None = "auto") -> Iterator[Any]:
         return
     backend = name if not isinstance(name, str) else get_backend(name)
     if backend.name != "numpy":
+        # Late import: the backend layer must stay import-time
+        # independent of repro.obs (telemetry-hook pattern), and
+        # non-numpy activation is rare enough that the lookup is free.
+        from repro.obs import telemetry as obs
+
         obs.emit("backend.active", backend=backend.name,
                  device=backend.device)
         obs.gauge(f"backend.active.{backend.name}", 1)

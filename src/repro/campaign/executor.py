@@ -97,7 +97,7 @@ def limit_blas_threads(limit: int) -> str:
        after this call, e.g. under a ``spawn`` start method).
     """
     if limit < 1:
-        raise ValueError("limit must be at least 1")
+        raise ValueError("limit must be at least 1")  # reprolint: disable=error-taxonomy -- caller-argument validation, raised before any scenario runs
     for var in _BLAS_ENV_VARS:
         os.environ[var] = str(limit)
     try:
@@ -987,7 +987,7 @@ def _run_campaign_impl(
     retry_failed: bool = False,
 ) -> CampaignResult:
     if retry_failed and registry is None:
-        raise ValueError("retry_failed requires a registry")
+        raise ValueError("retry_failed requires a registry")  # reprolint: disable=error-taxonomy -- API-usage validation at dispatch time, not a scenario failure
     if isinstance(spec, CampaignSpec):
         campaign_name = name or spec.name
         if scenarios is None:

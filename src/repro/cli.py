@@ -283,6 +283,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _find_repo_root(start: Path | None = None) -> Path | None:
+    """Nearest ancestor holding the in-repo dev tools (tools/reprolint)."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "tools" / "reprolint" / "__init__.py").is_file():
+            return candidate
+    return None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the in-repo static-analysis pass (tools/reprolint).
+
+    ``reprolint`` lives in the repository's ``tools/`` tree, not in the
+    installed package: it checks *this codebase's* conventions (backend
+    routing, telemetry grammar, error taxonomy, ...), so running it only
+    makes sense inside a checkout.
+    """
+    root = _find_repo_root()
+    if root is None:
+        print(
+            "error: repro lint must run inside the repository "
+            "(tools/reprolint not found in any parent directory)",
+            file=sys.stderr,
+        )
+        return 2
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.reprolint.cli import main as reprolint_main
+
+    forwarded = list(args.paths)
+    if args.json:
+        forwarded.append("--json")
+    if args.rules:
+        forwarded.extend(["--rules", args.rules])
+    if args.update_registry:
+        forwarded.append("--update-registry")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return reprolint_main(forwarded, root=root)
+
+
 def _external_overrides(args: argparse.Namespace) -> dict:
     """Scenario-field overrides implied by the shared ingest/termination
     flags (``campaign`` applies them to external-data scenarios).
@@ -755,6 +796,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="telemetry directory, output directory, or campaign registry",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's static-analysis pass (tools/reprolint)",
+        description="AST-based invariant checks over the checkout: "
+        "backend routing, telemetry hygiene, error taxonomy, fingerprint "
+        "safety, import hygiene.  Exit 0 clean, 1 findings, 2 usage "
+        "error.  Requires running inside the repository.",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to scan (default: src tests)",
+    )
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    p_lint.add_argument("--rules", default=None,
+                        help="comma-separated subset of rules")
+    p_lint.add_argument("--update-registry", action="store_true",
+                        help="rewrite the telemetry counter registry")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -36,6 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.resilience.errors import IngestError
 from repro.sparams.conversions import renormalize_s
 from repro.sparams.network import NetworkData
 from repro.sparams.touchstone import TouchstoneInfo, read_touchstone_with_info
@@ -228,8 +229,9 @@ def condition_network(
         if options.dc_policy == "keep" and data.frequencies[0] == 0.0:
             mask[0] = True
         if not mask.any():
-            raise ValueError(
-                f"band [{lo:g}, {hi:g}] Hz selects no frequency points"
+            raise IngestError(
+                f"band [{lo:g}, {hi:g}] Hz selects no frequency points",
+                stage="ingest",
             )
         dropped = int(np.count_nonzero(~mask))
         if dropped:
@@ -294,9 +296,10 @@ def condition_network(
     # 5. Reference-impedance renormalization.
     if options.z0 is not None and options.z0 != data.z0:
         if data.kind != "s":
-            raise ValueError(
+            raise IngestError(
                 "z0 renormalization applies to scattering data only "
-                f"(got kind {data.kind!r})"
+                f"(got kind {data.kind!r})",
+                stage="ingest",
             )
         old_z0 = data.z0
         data = replace(

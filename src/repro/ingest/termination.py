@@ -55,6 +55,7 @@ from repro.circuits.components import (
     VRMModel,
 )
 from repro.pdn.spec import load_termination, termination_from_dict
+from repro.resilience.errors import IngestError
 from repro.pdn.termination import TerminationNetwork
 from repro.util.logging import get_logger
 
@@ -103,16 +104,16 @@ def _parse_target(text: str | None, n_ports: int, entry: str) -> list[int]:
     text = text.strip()
     match = re.fullmatch(r"(\d+)(?:-(\d+))?", text)
     if not match:
-        raise ValueError(
+        raise IngestError(
             f"bad port target {text!r} in termination entry {entry!r} "
             "(use '*', an index, or 'a-b')"
         )
     lo = int(match.group(1))
     hi = int(match.group(2)) if match.group(2) else lo
     if lo > hi:
-        raise ValueError(f"empty port range {text!r} in entry {entry!r}")
+        raise IngestError(f"empty port range {text!r} in entry {entry!r}")
     if hi >= n_ports:
-        raise ValueError(
+        raise IngestError(
             f"port {hi} out of range in entry {entry!r} "
             f"(network has {n_ports} ports, 0-based)"
         )
@@ -142,7 +143,7 @@ def _parse_params(
                 continue
             key = aliases.get(key, key)
             if key not in positional:
-                raise ValueError(
+                raise IngestError(
                     f"unknown parameter {key!r} in termination entry "
                     f"{entry!r} (expects {list(positional) or 'none'})"
                 )
@@ -150,12 +151,12 @@ def _parse_params(
             saw_keyword = True
         else:
             if saw_keyword:
-                raise ValueError(
+                raise IngestError(
                     f"positional parameter {raw!r} after a keyword "
                     f"parameter in termination entry {entry!r}"
                 )
             if position >= len(positional):
-                raise ValueError(
+                raise IngestError(
                     f"too many positional parameters in termination entry "
                     f"{entry!r} (expects at most {len(positional)})"
                 )
@@ -171,7 +172,7 @@ def parse_termination_spec(text: str, n_ports: int) -> TerminationNetwork:
     grammar.
     """
     if not text.strip():
-        raise ValueError("empty termination spec")
+        raise IngestError("empty termination spec")
     terminations: list[PortTermination] = [
         OpenTermination() for _ in range(n_ports)
     ]
@@ -182,14 +183,14 @@ def parse_termination_spec(text: str, n_ports: int) -> TerminationNetwork:
             continue
         match = _ENTRY_RE.match(entry)
         if not match:
-            raise ValueError(
+            raise IngestError(
                 f"cannot parse termination entry {entry!r} "
                 "(expected [target=]name[(params)])"
             )
         name = match.group("name").lower()
         spec = _COMPONENTS.get(name)
         if spec is None:
-            raise ValueError(
+            raise IngestError(
                 f"unknown termination component {name!r} in entry {entry!r} "
                 f"(known: {sorted(set(_COMPONENTS))})"
             )
@@ -200,7 +201,7 @@ def parse_termination_spec(text: str, n_ports: int) -> TerminationNetwork:
         try:
             component = constructor(**kwargs)
         except (TypeError, ValueError) as exc:
-            raise ValueError(
+            raise IngestError(
                 f"bad parameters in termination entry {entry!r}: {exc}"
             ) from exc
         for port in _parse_target(match.group("target"), n_ports, entry):
@@ -223,7 +224,7 @@ def ensure_excitation(
     if np.any(network.excitations):
         return network
     if not 0 <= observe_port < network.n_ports:
-        raise ValueError(
+        raise IngestError(
             f"observe_port {observe_port} out of range for "
             f"{network.n_ports}-port network"
         )
@@ -269,7 +270,7 @@ def build_termination(
         else:
             network = parse_termination_spec(text, n_ports)
     if network.n_ports != n_ports:
-        raise ValueError(
+        raise IngestError(
             f"termination has {network.n_ports} ports, data has {n_ports}"
         )
     return ensure_excitation(network, observe_port)

@@ -104,19 +104,19 @@ class BlockDiagonalCost:
         for a in range(shape[0]):
             for b in range(shape[1]):
                 try:
-                    self._chol[a, b] = np.linalg.cholesky(shifted[a, b])
+                    self._chol[a, b] = np.linalg.cholesky(shifted[a, b])  # reprolint: disable=backend-routing -- per-block host repair ladder after the batched backend cholesky
                     continue
                 except np.linalg.LinAlgError:
                     pass
                 block = self._blocks[a, b]
-                eigenvalues, vectors = np.linalg.eigh(0.5 * (block + block.T))
+                eigenvalues, vectors = np.linalg.eigh(0.5 * (block + block.T))  # reprolint: disable=backend-routing -- eigenvalue floor repair of one indefinite block; host-only rescue path
                 top = max(float(eigenvalues[-1]), 1e-300)
                 floor = max(self._ridge, 1e-14) * top
                 clipped = np.maximum(eigenvalues, floor)
                 repaired = (vectors * clipped) @ vectors.T
                 self._blocks[a, b] = repaired
                 try:
-                    self._chol[a, b] = np.linalg.cholesky(
+                    self._chol[a, b] = np.linalg.cholesky(  # reprolint: disable=backend-routing -- last rung of the per-block repair ladder; host-only rescue path
                         repaired + floor * eye
                     )
                 except np.linalg.LinAlgError as exc:

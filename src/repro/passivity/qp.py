@@ -112,7 +112,7 @@ def _dual_nnls_dense(
     m = f @ y
     m = 0.5 * (m + m.T)
     m_reg = m + ridge * np.eye(m.shape[0])
-    r = scipy.linalg.cholesky(m_reg, lower=False, check_finite=False)
+    r = scipy.linalg.cholesky(m_reg, lower=False, check_finite=False)  # reprolint: disable=backend-routing -- dense NNLS dual route is a documented host-LAPACK path (see module docstring)
     # min_lambda>=0 1/2 l^T M l + g^T l  ==  min ||R l + R^-T g||^2 / 2
     rhs = scipy.linalg.solve_triangular(
         r, -g, trans="T", lower=False, check_finite=False
@@ -149,7 +149,7 @@ def _nnls_gram(
                 sub, -q[active], assume_a="pos", check_finite=False
             )
         except (scipy.linalg.LinAlgError, ValueError):
-            return np.linalg.lstsq(sub, -q[active], rcond=None)[0]
+            return np.linalg.lstsq(sub, -q[active], rcond=None)[0]  # reprolint: disable=backend-routing -- active-set rescue inside the host-LAPACK NNLS solver (see module docstring)
 
     max_iter = 5 * n + 100
     outer = 0

@@ -102,11 +102,15 @@ class CheckerError(ReproError):
     error_code = "checker"
 
 
-class StageOutputError(ReproError):
+class StageOutputError(ReproError, ValueError):
     """A pipeline stage emitted NaN/Inf arrays or a malformed model.
 
     Raised at the stage boundary so the poisoned artifact never reaches
     downstream LAPACK calls (whose failure modes are far less readable).
+    Also a ``ValueError``, like ``IngestError``: the in-stage validation
+    sites that now raise it (degenerate weights, non-finite
+    sensitivities) historically raised ``ValueError``, and callers
+    catching that keep working.
     """
 
     error_code = "stage_output"

@@ -16,7 +16,7 @@ import scipy.linalg
 
 
 def _check_stable(a: np.ndarray, context: str) -> None:
-    eigenvalues = np.linalg.eigvals(a)
+    eigenvalues = np.linalg.eigvals(a)  # reprolint: disable=backend-routing -- stability precheck for the host-only scipy Lyapunov solver
     worst = float(np.max(eigenvalues.real)) if eigenvalues.size else -np.inf
     if worst >= 0.0:
         raise ValueError(
@@ -32,7 +32,7 @@ def ensure_psd(matrix: np.ndarray, *, clip_ratio: float = 1e-14) -> np.ndarray:
     indefiniteness (eigenvalues more negative than that) raises.
     """
     sym = 0.5 * (matrix + matrix.T)
-    eigenvalues, vectors = np.linalg.eigh(sym)
+    eigenvalues, vectors = np.linalg.eigh(sym)  # reprolint: disable=backend-routing -- PSD projection beside the host-only scipy Lyapunov solver
     top = float(eigenvalues[-1]) if eigenvalues.size else 0.0
     if top <= 0.0:
         return np.zeros_like(sym)

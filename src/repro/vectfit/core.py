@@ -295,7 +295,7 @@ def _sigma_compress_reference(
             rhs = h * w
         a_real = _realify(block)
         rhs_real = _realify(rhs.reshape(-1, 1))[:, 0]
-        _, r = np.linalg.qr(np.column_stack([a_real, rhs_real]))
+        _, r = np.linalg.qr(np.column_stack([a_real, rhs_real]))  # reprolint: disable=backend-routing -- reference oracle kernel, pinned byte-stable for equivalence tests
         rows_list.append(r[cols_model : cols_model + cols_sigma, cols_model:-1])
         rhs_list.append(r[cols_model : cols_model + cols_sigma, -1])
     return np.stack(rows_list), np.stack(rhs_list)

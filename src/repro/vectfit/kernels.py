@@ -108,7 +108,7 @@ def batched_qr_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
             )
         )[:, :, 0]
     for index in np.flatnonzero(~ok):
-        solution[index], *_ = np.linalg.lstsq(
+        solution[index], *_ = np.linalg.lstsq(  # reprolint: disable=backend-routing -- per-column host rescue ladder below the batched backend solve
             scaled[index], b[index], rcond=None
         )
     # Last rung of the per-slice ladder: a triangular solve that passed
@@ -119,7 +119,7 @@ def batched_qr_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     if np.any(bad):
         obs.incr("fallback.kernel_lstsq", int(bad.sum()))
         for index in np.flatnonzero(bad):
-            solution[index], *_ = np.linalg.lstsq(
+            solution[index], *_ = np.linalg.lstsq(  # reprolint: disable=backend-routing -- per-column host rescue ladder below the batched backend solve
                 scaled[index], b[index], rcond=None
             )
     return solution / norms

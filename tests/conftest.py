@@ -6,8 +6,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import FlowOptions, MacromodelingFlow, make_paper_testcase
-from repro.vectfit.options import VFOptions
+from repro import MacromodelingFlow, make_paper_testcase
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,14 @@
+"""Fixture: backend-layer imports that respect the layering (clean)."""
+
+import numpy as np
+
+from repro.backend.numpy_backend import NumpyBackend
+from repro.util.linalg import stable_pinv
+
+
+def activate(backend):
+    if backend.name != "numpy":
+        from repro.obs import telemetry as obs
+
+        obs.emit("backend.active", backend=backend.name)
+    return NumpyBackend(), stable_pinv(np.eye(2))

@@ -1,0 +1,10 @@
+"""Fixture: telemetry names that follow the grammar (clean)."""
+
+from repro import obs
+
+
+def instrumented(backend_name):
+    with obs.span("stage:fit"):
+        obs.incr("vf.iterations")  # registered counter
+        obs.emit("vf.converged", iterations=3)
+        obs.gauge(f"backend.active.{backend_name}", 1)

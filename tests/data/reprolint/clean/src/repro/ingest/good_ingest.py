@@ -1,0 +1,20 @@
+"""Fixture: typed taxonomy raises and exempt validation (clean)."""
+
+from dataclasses import dataclass
+
+from repro.resilience.errors import IngestError
+
+
+def load(path):
+    if not path:
+        raise IngestError("empty path", stage="ingest")
+    return path
+
+
+@dataclass(frozen=True)
+class LoaderOptions:
+    retries: int = 1
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")  # exempt

@@ -1,0 +1,14 @@
+"""Fixture: whole-file suppression via disable-file (clean).
+
+# reprolint: disable-file=backend-routing -- reference oracle kernels stay on host LAPACK
+"""
+
+import numpy as np
+
+
+def oracle_eig(matrix):
+    return np.linalg.eig(matrix)
+
+
+def oracle_svd(matrix):
+    return np.linalg.svd(matrix)

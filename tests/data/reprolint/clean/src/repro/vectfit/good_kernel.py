@@ -1,0 +1,12 @@
+"""Fixture: kernel code routed through the backend layer (clean)."""
+
+import numpy as np
+
+from repro.backend import active_backend
+
+
+def fit_step(lhs, rhs):
+    backend = active_backend()
+    solution = backend.lstsq(lhs, rhs)
+    residual = np.linalg.norm(lhs @ solution - rhs)  # norm has no primitive
+    return solution, residual

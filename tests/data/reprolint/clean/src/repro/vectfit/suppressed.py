@@ -1,0 +1,13 @@
+"""Fixture: documented host paths behind line pragmas (clean)."""
+
+import numpy as np
+
+
+def rescue(lhs, rhs):
+    solution, *_ = np.linalg.lstsq(  # reprolint: disable=backend-routing -- per-column host rescue
+        lhs, rhs, rcond=None,
+    )
+    values = np.linalg.eigvals(
+        lhs,
+    )  # reprolint: disable=backend-routing -- pragma on the call's last physical line
+    return solution, values

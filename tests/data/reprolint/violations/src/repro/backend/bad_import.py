@@ -1,0 +1,9 @@
+"""Fixture: the backend layer importing upward (import-hygiene)."""
+
+from repro.api import config
+
+
+def activate():
+    from repro.campaign import executor
+
+    return config, executor

@@ -1,0 +1,12 @@
+"""Fixture: digest function that skips a field (fingerprint-safety)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    name: str
+    backend: str = "numpy"
+
+    def to_dict(self):
+        return {"name": self.name}

@@ -1,0 +1,10 @@
+"""Fixture: names that break the telemetry grammar (telemetry-hygiene)."""
+
+from repro import obs
+
+
+def instrumented(label):
+    with obs.span("fit_stage"):  # missing category prefix
+        obs.incr("NotDotted")
+        obs.incr("totally.unregistered_counter")
+        obs.emit(f"UPPER.{label}", value=1)

@@ -1,0 +1,7 @@
+"""Fixture: bare builtin raise in taxonomy-required code (error-taxonomy)."""
+
+
+def load(path):
+    if not path:
+        raise ValueError("empty path")
+    raise RuntimeError("unreadable")

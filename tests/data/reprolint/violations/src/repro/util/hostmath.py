@@ -1,0 +1,8 @@
+"""Fixture: host linalg OUTSIDE the kernel packages (must not be flagged)."""
+
+import numpy as np
+
+
+def project(a, b):
+    solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+    return solution

@@ -1,0 +1,10 @@
+"""Fixture: direct host linalg in a kernel package (backend-routing)."""
+
+import numpy as np
+import scipy.linalg as sla
+
+
+def fit_step(lhs, rhs):
+    solution, *_ = np.linalg.lstsq(lhs, rhs, rcond=None)
+    q, r = sla.qr(lhs, mode="economic")
+    return solution, q, r

@@ -1,0 +1,10 @@
+"""Fixture: digest-fed dataclass with a mutable default (fingerprint-safety)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VFOptions:
+    n_poles: int = 10
+    weights: list = field(default_factory=list)
+    extras: dict = {}

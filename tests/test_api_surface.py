@@ -38,3 +38,16 @@ def test_exported_names_resolve():
         module_name, _, attribute = line.rpartition(".")
         module = importlib.import_module(module_name)
         assert hasattr(module, attribute), line
+
+
+def test_snapshot_covers_subsystem_modules():
+    # PR 10 widened the tracked surface: the campaign, ingest and
+    # passivity subsystems are public API too, not just the top layers.
+    tool = _load_tool()
+    for module_name in ("repro.campaign", "repro.ingest", "repro.passivity"):
+        assert module_name in tool.MODULES
+        prefix = module_name + "."
+        assert any(
+            line.startswith(prefix)
+            for line in tool.SNAPSHOT.read_text(encoding="utf-8").splitlines()
+        ), f"snapshot records no names for {module_name}"

@@ -1,7 +1,6 @@
 """Telemetry core: spans, counters, sinks, metrics, sidecar merge, trace."""
 
 import json
-import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 

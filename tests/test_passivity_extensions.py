@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.passivity.check import check_passivity, check_passivity_sampling
-from repro.passivity.cost import l2_gramian_cost, relative_error_cost
+from repro.passivity.cost import relative_error_cost
 from repro.passivity.enforce import enforce_passivity
 from repro.sensitivity.firstorder import sensitivity_matrix
 from repro.sensitivity.weighted_norm import per_element_sensitivity_cost

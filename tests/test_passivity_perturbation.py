@@ -2,7 +2,6 @@
 predict the effect of small residue perturbations."""
 
 import numpy as np
-import pytest
 
 from repro.passivity.perturbation import (
     build_constraints,

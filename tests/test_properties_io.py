@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sparams.network import NetworkData
 from repro.sparams.touchstone import (
-    read_touchstone,
     read_touchstone_with_info,
     write_touchstone,
 )

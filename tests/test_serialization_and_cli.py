@@ -8,7 +8,6 @@ import pytest
 from repro.cli import main
 from repro.circuits.components import DecouplingCapacitor, DieBlock
 from repro.pdn.spec import load_termination, save_termination
-from repro.pdn.termination import TerminationNetwork
 from repro.statespace.serialization import (
     load_model,
     load_model_with_metadata,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.statespace.system import StateSpaceModel
 from repro.vectfit.magnitude import fit_magnitude
 
 

@@ -1,0 +1,1 @@
+"""Repository development tools (not installed with the package)."""

@@ -1,0 +1,79 @@
+"""backend-routing: dense kernels must go through ``repro.backend``.
+
+PR 8 routed every dense linear-algebra kernel in the solver packages
+through the active :class:`repro.backend.Backend`, so a ``--backend
+cupy`` run actually executes on the device.  A direct
+``np.linalg.svd(...)`` in those packages silently pins the operation to
+host LAPACK for every backend -- numerically fine, but it defeats the
+routing layer and never shows up in a trace.
+
+This rule flags **calls** to ``numpy.linalg`` / ``scipy.linalg``
+functions that have a corresponding :class:`Backend` primitive, inside
+the kernel packages (``vectfit``, ``passivity``, ``statespace``,
+``sensitivity``).  Host-only utilities with no backend primitive
+(``norm``, ``inv``, ``solve``, ``solve_triangular``,
+``solve_continuous_lyapunov``, ``eigvalsh``, ``matrix_balance``) are not
+flagged, and neither are bare references such as ``except
+np.linalg.LinAlgError``.
+
+Documented host paths -- the active-set/NNLS solver in
+``passivity/qp.py``, per-column rescue fallbacks, reference oracle
+kernels -- carry suppression pragmas whose reasons double as
+documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import Finding, Module, Project, dotted_path, import_aliases
+
+#: Packages whose dense numerics must route through repro.backend.
+KERNEL_PACKAGES = (
+    "src/repro/vectfit/",
+    "src/repro/passivity/",
+    "src/repro/statespace/",
+    "src/repro/sensitivity/",
+)
+
+#: linalg operations with a Backend primitive (see repro.backend.base).
+ROUTED_OPS = frozenset({
+    "lstsq", "qr", "cholesky", "cho_factor", "cho_solve",
+    "eig", "eigvals", "eigh", "svd",
+})
+
+#: Module prefixes that count as direct host linalg.
+_HOST_MODULES = ("numpy.linalg", "scipy.linalg")
+
+
+class BackendRoutingChecker:
+    name = "backend-routing"
+    description = (
+        "dense linalg calls in kernel packages must route through "
+        "repro.backend (pragma documented host paths)"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not module.relpath.startswith(KERNEL_PACKAGES):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = dotted_path(node.func, aliases)
+            if path is None:
+                continue
+            head, _, op = path.rpartition(".")
+            if op not in ROUTED_OPS:
+                continue
+            if head in _HOST_MODULES or path in {
+                f"{mod}.{op}" for mod in _HOST_MODULES
+            }:
+                yield Finding(
+                    module.relpath, node.lineno, node.col_offset, self.name,
+                    f"direct host linalg call {path}() -- route through the "
+                    "active repro.backend (get_backend()/VFOptions.backend) "
+                    "or add a pragma documenting the host path",
+                    end_line=node.end_lineno,
+                )

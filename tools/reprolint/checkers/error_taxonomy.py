@@ -1,0 +1,81 @@
+"""error-taxonomy: stage code raises typed ``repro.resilience`` errors.
+
+The campaign retry engine classifies failures by
+:func:`repro.resilience.errors.error_code_of`: a typed
+:class:`~repro.resilience.errors.ReproError` carries a stable
+``error_code`` plus stage/scenario context into run records, the
+manifest and ``campaign.errors.*`` counters, while a bare ``ValueError``
+collapses to the catch-all ``value_error`` code -- losing exactly the
+signal ``--retry-failed`` and the failure summary are built on.
+
+This rule flags ``raise ValueError/RuntimeError/Exception`` in the
+modules where PR 7 requires the taxonomy (the pipeline stages, the
+ingest subsystem and the campaign executor).  Dataclass
+``__post_init__`` validation is exempt: option-constructor errors are
+caller bugs raised before any stage runs, and the taxonomy's
+``IngestError`` already *is* a ``ValueError`` for the sites that need
+compatibility.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import Finding, Module, Project
+
+#: Module paths (prefix match) where typed errors are required.
+TYPED_ERROR_PATHS = (
+    "src/repro/api/stages.py",
+    "src/repro/ingest/",
+    "src/repro/campaign/executor.py",
+)
+
+#: Builtin exceptions whose bare raise defeats retry classification.
+BARE_EXCEPTIONS = frozenset({"ValueError", "RuntimeError", "Exception"})
+
+#: Function bodies exempt from the rule (constructor validation).
+_EXEMPT_FUNCTIONS = frozenset({"__post_init__"})
+
+
+class ErrorTaxonomyChecker:
+    name = "error-taxonomy"
+    description = (
+        "stage/ingest/executor code must raise typed repro.resilience "
+        "errors, not bare ValueError/RuntimeError/Exception"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not module.relpath.startswith(TYPED_ERROR_PATHS):
+            return
+        yield from self._walk(module, module.tree.body)
+
+    def _walk(self, module: Module, body: list[ast.stmt]) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name in _EXEMPT_FUNCTIONS:
+                    continue
+                yield from self._walk(module, stmt.body)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._walk(module, stmt.body)
+            else:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Raise):
+                        yield from self._check_raise(module, node)
+
+    def _check_raise(self, module: Module, node: ast.Raise) -> Iterator[Finding]:
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in BARE_EXCEPTIONS:
+            yield Finding(
+                module.relpath, node.lineno, node.col_offset, self.name,
+                f"bare `raise {name}` in stage code -- raise a typed "
+                "repro.resilience error (IngestError is a ValueError; "
+                "StageOutputError for poisoned artifacts) so retry "
+                "classification keeps its error_code",
+                end_line=node.end_lineno,
+            )

@@ -1,0 +1,114 @@
+"""import-hygiene: ``repro.backend`` never imports upward.
+
+PR 8 established the dependency direction: the backend layer is a leaf
+the kernel packages call *down* into, selected by options plumbed from
+api/campaign.  An import from a higher layer inside ``repro.backend``
+(api, campaign, obs, flow, ingest, the solver packages, the CLI) would
+recreate exactly the import cycles the refactor untangled -- and would
+drag the whole pipeline into every ``import repro.backend``.
+
+Module-level imports of any non-backend ``repro`` subpackage except
+``repro.util`` are flagged.  Function-scope (lazy) imports are allowed
+for the telemetry hook module only -- the established pattern from
+``repro.util.linalg``, which late-imports ``repro.obs.telemetry`` at
+the single fallback site so the hook costs nothing at import time and
+creates no import-time edge; lazy imports of api/campaign/cli remain
+forbidden at any depth.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import Finding, Module, Project
+
+#: The package under the rule.
+BACKEND_PREFIX = "src/repro/backend/"
+
+#: repro subpackages the backend may import at module level.
+ALLOWED_SUBPACKAGES = frozenset({"backend", "util"})
+
+#: Subpackages forbidden even as function-scope lazy imports.
+FORBIDDEN_ANYWHERE = frozenset({"api", "campaign", "cli"})
+
+#: Lazy-import exception: the leaf telemetry hook module.
+LAZY_ALLOWED_MODULES = frozenset({"repro.obs.telemetry"})
+
+
+def _imported_repro_modules(node: ast.stmt) -> list[tuple[str, tuple[str, ...]]]:
+    """(repro module, names bound from it) pairs an import binds.
+
+    ``from repro.obs import telemetry`` yields ``("repro.obs",
+    ("telemetry",))`` so callers can recognize submodule imports like
+    the telemetry-hook pattern.
+    """
+    out: list[tuple[str, tuple[str, ...]]] = []
+    if isinstance(node, ast.Import):
+        for name in node.names:
+            if name.name == "repro" or name.name.startswith("repro."):
+                out.append((name.name, ()))
+    elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+        if node.module == "repro":
+            out.extend((f"repro.{n.name}", ()) for n in node.names)
+        elif node.module.startswith("repro."):
+            out.append((node.module, tuple(n.name for n in node.names)))
+    return out
+
+
+def _subpackage(module_path: str) -> str | None:
+    parts = module_path.split(".")
+    return parts[1] if len(parts) > 1 and parts[0] == "repro" else None
+
+
+class ImportHygieneChecker:
+    name = "import-hygiene"
+    description = (
+        "repro.backend must not import higher layers (api/campaign/obs/"
+        "solver packages); lazy telemetry-hook imports excepted"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not module.relpath.startswith(BACKEND_PREFIX):
+            return
+        module_level = set(module.tree.body)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            at_module_level = node in module_level
+            for target, bound in _imported_repro_modules(node):
+                sub = _subpackage(target)
+                if sub is None or sub in ALLOWED_SUBPACKAGES:
+                    continue
+                lazy_ok = target in LAZY_ALLOWED_MODULES or any(
+                    f"{target}.{name}" in LAZY_ALLOWED_MODULES
+                    for name in bound
+                )
+                if not at_module_level:
+                    if sub in FORBIDDEN_ANYWHERE:
+                        yield Finding(
+                            module.relpath, node.lineno, node.col_offset,
+                            self.name,
+                            f"repro.backend lazily imports {target} -- "
+                            "api/campaign/cli must never be reachable "
+                            "from the backend layer",
+                            end_line=node.end_lineno,
+                        )
+                    elif not lazy_ok:
+                        yield Finding(
+                            module.relpath, node.lineno, node.col_offset,
+                            self.name,
+                            f"repro.backend lazily imports {target}; only "
+                            f"{sorted(LAZY_ALLOWED_MODULES)} may be "
+                            "late-imported (telemetry hook pattern)",
+                            end_line=node.end_lineno,
+                        )
+                    continue
+                yield Finding(
+                    module.relpath, node.lineno, node.col_offset, self.name,
+                    f"repro.backend imports {target} at module level -- "
+                    "the backend is a leaf layer; move the import into "
+                    "the call site (telemetry hooks) or invert the "
+                    "dependency",
+                    end_line=node.end_lineno,
+                )

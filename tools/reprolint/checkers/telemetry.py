@@ -1,0 +1,200 @@
+"""telemetry-hygiene: span/counter/event names must parse.
+
+``repro trace`` and the CI ``run_metrics.json`` assertions *parse* the
+names recorded by :mod:`repro.obs.telemetry`:
+
+* span paths group by a ``category:name`` grammar (``stage:enforce``,
+  ``kernel:qp_solve``) -- the trace renderer's per-stage/per-kernel
+  tables key off the category prefix;
+* counters are lowercase dotted paths (``fallback.qp_dense``) and the
+  CI fault-injection job asserts specific ``retry.*`` / ``fallback.*``
+  counters, so a typo'd literal would silently never trip an assert.
+
+This rule validates every **literal** first argument to
+``span``/``emit``/``incr``/``gauge``/``next_seq`` reached through a
+``repro.obs`` import, and additionally requires literal counter names to
+be committed to ``tools/reprolint/registry/counters.txt`` (run
+``python -m tools.reprolint --update-registry`` after adding one, the
+same workflow as the api-surface snapshot).  Dynamic names are checked
+on their literal f-string prefix only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator
+
+from tools.reprolint.core import (
+    Finding,
+    Module,
+    Project,
+    fstring_prefix,
+    literal_str,
+)
+
+REGISTRY_PATH = Path(__file__).resolve().parent.parent / "registry" / "counters.txt"
+
+#: Allowed span categories (the trace renderer groups by these).
+SPAN_CATEGORIES = ("stage", "kernel", "campaign", "enforce", "checker")
+
+_SPAN_RE = re.compile(
+    r"^(" + "|".join(SPAN_CATEGORIES) + r"):[a-z0-9_.]+$"
+)
+_DOTTED_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+#: Charset allowed in a dynamic name's literal prefix.
+_PREFIX_RE = re.compile(r"^[a-z][a-z0-9_.:]*$")
+
+_HOOKS = frozenset({"span", "emit", "incr", "gauge", "next_seq"})
+
+#: Only product instrumentation is under the rule: tests and examples
+#: deliberately emit arbitrary names at the telemetry API itself.
+SCOPE_PREFIX = "src/repro/"
+
+
+def load_registry(path: Path = REGISTRY_PATH) -> set[str]:
+    """Committed counter names (blank lines and # comments ignored)."""
+    if not path.exists():
+        return set()
+    names = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            names.add(line)
+    return names
+
+
+def collect_counters(project: Project) -> set[str]:
+    """Every literal counter name at an ``incr`` site in the project."""
+    counters: set[str] = set()
+    checker = TelemetryHygieneChecker()
+    for module in project.modules:
+        if not module.relpath.startswith(SCOPE_PREFIX):
+            continue
+        for call, hook in checker._hook_calls(module):
+            if hook == "incr" and call.args:
+                counters.update(literal_str(call.args[0]))
+    return counters
+
+
+class TelemetryHygieneChecker:
+    name = "telemetry-hygiene"
+    description = (
+        "span/emit/incr/gauge names must follow the trace grammar; "
+        "literal counters must be in registry/counters.txt"
+    )
+
+    def __init__(self, registry: set[str] | None = None) -> None:
+        self._registry = registry
+
+    @property
+    def registry(self) -> set[str]:
+        if self._registry is None:
+            self._registry = load_registry()
+        return self._registry
+
+    # ------------------------------------------------------------------
+    def _telemetry_names(self, module: Module) -> tuple[set[str], set[str]]:
+        """(bare hook names, receiver names) bound to repro.obs here."""
+        bare: set[str] = set()
+        receivers: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module == "repro" :
+                    for name in node.names:
+                        if name.name == "obs":
+                            receivers.add(name.asname or "obs")
+                elif node.module == "repro.obs":
+                    for name in node.names:
+                        if name.name == "telemetry":
+                            receivers.add(name.asname or "telemetry")
+                elif node.module == "repro.obs.telemetry":
+                    for name in node.names:
+                        if name.name in _HOOKS:
+                            bare.add(name.asname or name.name)
+            elif isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.name in ("repro.obs", "repro.obs.telemetry"):
+                        if name.asname:
+                            receivers.add(name.asname)
+        return bare, receivers
+
+    def _hook_calls(self, module: Module) -> Iterator[tuple[ast.Call, str]]:
+        bare, receivers = self._telemetry_names(module)
+        if not bare and not receivers:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in bare:
+                yield node, func.id
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _HOOKS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in receivers
+            ):
+                yield node, func.attr
+
+    # ------------------------------------------------------------------
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not module.relpath.startswith(SCOPE_PREFIX):
+            return
+        for call, hook in self._hook_calls(module):
+            if not call.args:
+                continue
+            arg = call.args[0]
+            names = literal_str(arg)
+            if names:
+                for name in names:
+                    yield from self._check_literal(module, call, hook, name)
+                continue
+            prefix = fstring_prefix(arg)
+            if prefix is not None and not _PREFIX_RE.match(prefix):
+                yield Finding(
+                    module.relpath, call.lineno, call.col_offset, self.name,
+                    f"{hook}() dynamic name prefix {prefix!r} breaks the "
+                    "telemetry grammar (lowercase dotted/colon paths)",
+                    end_line=call.end_lineno,
+                )
+
+    def _check_literal(
+        self, module: Module, call: ast.Call, hook: str, name: str
+    ) -> Iterator[Finding]:
+        where = (module.relpath, call.lineno, call.col_offset)
+        if hook == "span":
+            if not _SPAN_RE.match(name):
+                yield Finding(
+                    *where, self.name,
+                    f"span name {name!r} must match "
+                    f"'<category>:<name>' with category in "
+                    f"{SPAN_CATEGORIES} (repro trace groups on it)",
+                    end_line=call.end_lineno,
+                )
+        elif hook == "incr":
+            if not _DOTTED_RE.match(name):
+                yield Finding(
+                    *where, self.name,
+                    f"counter name {name!r} must be a lowercase dotted "
+                    "path like 'fallback.qp_dense'",
+                    end_line=call.end_lineno,
+                )
+            elif name not in self.registry:
+                yield Finding(
+                    *where, self.name,
+                    f"counter {name!r} is not in the committed registry "
+                    "(tools/reprolint/registry/counters.txt); run "
+                    "`python -m tools.reprolint --update-registry` if it "
+                    "is intentional",
+                    end_line=call.end_lineno,
+                )
+        elif hook in ("emit", "gauge", "next_seq"):
+            if not _DOTTED_RE.match(name):
+                yield Finding(
+                    *where, self.name,
+                    f"{hook}() name {name!r} must be a lowercase dotted "
+                    "path like 'enforce.iteration'",
+                    end_line=call.end_lineno,
+                )
